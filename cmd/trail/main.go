@@ -1,0 +1,438 @@
+// Command trail is the command-line front end of the TRAIL reproduction:
+// it generates the synthetic OSINT world, builds the TRAIL knowledge
+// graph, reports dataset statistics, and runs every experiment from the
+// paper's evaluation.
+//
+// Usage:
+//
+//	trail world       [-seed N] [-months N] [-events N] [-out pulses.ndjson]
+//	trail build       [-seed N] [-months N] [-events N] [-out tkg.gob]
+//	trail stats       [-seed N] [-months N] [-events N]
+//	trail casestudy   [-seed N] [-fast]
+//	trail experiments [-seed N] [-fast] [-only table2,fig4,...] [-md EXPERIMENTS.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"trail/internal/core"
+	"trail/internal/eval"
+	"trail/internal/graph"
+	"trail/internal/labelprop"
+	"trail/internal/osint"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "world":
+		err = cmdWorld(args)
+	case "build":
+		err = cmdBuild(args)
+	case "stats":
+		err = cmdStats(args)
+	case "attribute":
+		err = cmdAttribute(args)
+	case "casestudy":
+		err = cmdCaseStudy(args)
+	case "experiments":
+		err = cmdExperiments(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "trail: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trail:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `trail — knowledge-graph APT attribution (TRAIL reproduction)
+
+commands:
+  world        generate the synthetic OSINT pulse feed (NDJSON)
+  build        build the TRAIL knowledge graph and save a full snapshot
+  stats        print the Table II dataset report and graph structure
+  attribute    attribute pulses from a feed against a TKG snapshot
+  casestudy    attribute a never-seen event (paper §VII-C)
+  experiments  run every table/figure of the evaluation
+`)
+}
+
+func worldFlags(fs *flag.FlagSet) *osint.WorldConfig {
+	cfg := osint.DefaultConfig()
+	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "world seed")
+	fs.IntVar(&cfg.Months, "months", cfg.Months, "months of simulated activity")
+	fs.IntVar(&cfg.EventsPerMonth, "events", cfg.EventsPerMonth, "events per month")
+	return &cfg
+}
+
+func cmdWorld(args []string) error {
+	fs := flag.NewFlagSet("world", flag.ExitOnError)
+	cfg := worldFlags(fs)
+	out := fs.String("out", "", "output path (default stdout)")
+	fs.Parse(args)
+
+	w := osint.NewWorld(*cfg)
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	return osint.EncodePulses(dst, w.Pulses())
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	cfg := worldFlags(fs)
+	out := fs.String("out", "tkg.gob", "TKG snapshot path (graph + features)")
+	fs.Parse(args)
+
+	w := osint.NewWorld(*cfg)
+	tkg := core.NewTKG(w, w.Resolver(), core.DefaultBuildConfig())
+	if err := tkg.Build(w.Pulses()); err != nil {
+		return err
+	}
+	if err := tkg.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("built TKG: %d nodes, %d edges, %d events (%d pulses skipped)\n",
+		tkg.G.NumNodes(), tkg.G.NumEdges(), len(tkg.EventNodes()), tkg.SkippedPulses)
+	fmt.Println("snapshot written to", *out)
+	return nil
+}
+
+// cmdAttribute loads a TKG snapshot, merges the pulses from an NDJSON
+// feed, and attributes each one with label propagation. The snapshot must
+// have been built from the same world seed so the enrichment services
+// resolve its IOCs.
+func cmdAttribute(args []string) error {
+	fs := flag.NewFlagSet("attribute", flag.ExitOnError)
+	cfg := worldFlags(fs)
+	snap := fs.String("tkg", "tkg.gob", "TKG snapshot path")
+	feed := fs.String("feed", "", "NDJSON pulse feed (default stdin)")
+	layers := fs.Int("layers", 4, "label propagation depth")
+	fs.Parse(args)
+
+	w := osint.NewWorld(*cfg)
+	tkg, err := core.LoadTKG(*snap, w, w.Resolver())
+	if err != nil {
+		return err
+	}
+	src := os.Stdin
+	if *feed != "" {
+		f, err := os.Open(*feed)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	pulses, err := osint.DecodePulses(src)
+	if err != nil {
+		return err
+	}
+	names := w.Resolver().Names()
+	for _, p := range pulses {
+		evID, err := tkg.AddPulse(p)
+		if err == core.ErrSkipped {
+			fmt.Printf("%s: skipped (no unique APT tag)\n", p.ID)
+			continue
+		}
+		if err != nil {
+			fmt.Printf("%s: %v\n", p.ID, err)
+			continue
+		}
+		tkg.FinalizeLabels()
+		seeds := make(map[graph.NodeID]int)
+		for _, ev := range tkg.EventNodes() {
+			if ev != evID {
+				if l := tkg.G.Node(ev).Label; l >= 0 {
+					seeds[ev] = l
+				}
+			}
+		}
+		adj := tkg.G.Adjacency()
+		pred := labelprop.Attribute(adj, seeds, []graph.NodeID{evID}, len(names), *layers)[0]
+		verdict := "UNATTRIBUTED"
+		if pred >= 0 {
+			verdict = names[pred]
+		}
+		fmt.Printf("%s: %s\n", p.ID, verdict)
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	cfg := worldFlags(fs)
+	fs.Parse(args)
+
+	opts := eval.DefaultOptions()
+	opts.World = *cfg
+	ctx, err := eval.NewContext(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(eval.RunTableII(ctx).Render())
+	fmt.Println(eval.RunFigure4(ctx).Render())
+	fmt.Println(eval.RunGraphStats(ctx).Render())
+	fmt.Println("Most reused first-order IOCs:")
+	for _, n := range eval.MostReusedIOCs(ctx, 8) {
+		fmt.Printf("  %-7s %-40s in %d events\n", n.Kind, n.Key, n.EventCount)
+	}
+	return nil
+}
+
+func cmdCaseStudy(args []string) error {
+	fs := flag.NewFlagSet("casestudy", flag.ExitOnError)
+	cfg := worldFlags(fs)
+	fast := fs.Bool("fast", false, "small models for a quick run")
+	fs.Parse(args)
+
+	opts := eval.DefaultOptions()
+	opts.World = *cfg
+	opts.Fast = *fast
+	ctx, err := eval.NewContext(opts)
+	if err != nil {
+		return err
+	}
+	res, err := eval.RunCaseStudy(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return nil
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	cfg := worldFlags(fs)
+	fast := fs.Bool("fast", false, "small models for a quick run")
+	only := fs.String("only", "", "comma-separated subset: table2,fig3,fig4,graph,table3,table4,case,fig7,fig8,fig9,fig10,ablations,unknown,zeroshot,tuning")
+	md := fs.String("md", "", "also write the paper-vs-measured record to this markdown file")
+	fs.Parse(args)
+
+	opts := eval.DefaultOptions()
+	opts.World = *cfg
+	opts.Fast = *fast
+	ctx, err := eval.NewContext(opts)
+	if err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	run := func(key string) bool { return len(want) == 0 || want[key] }
+	report := eval.NewMarkdownReport(fmt.Sprintf(
+		"seed=%d months=%d events/month=%d (%d TKG events)",
+		cfg.Seed, cfg.Months, cfg.EventsPerMonth, len(ctx.TKG.EventNodes())))
+	emit := func(id, title, paper, measured, shape string) {
+		fmt.Println(measured)
+		report.Add(id, title, paper, measured, shape)
+	}
+
+	if run("table2") {
+		emit("Table II", "TKG dataset report", eval.PaperTableII,
+			eval.RunTableII(ctx).Render(),
+			"relative structure preserved: enrichment discovers the majority of IOC nodes; reuse > 1.")
+	}
+	if run("fig3") {
+		res, err := eval.RunFigure3(ctx, "")
+		if err != nil {
+			return err
+		}
+		emit("Figure 3", "ego-net around one event", eval.PaperFigure3, res.Render(),
+			"enrichment multiplies the reported IOCs into a rich 2-hop subgraph.")
+	}
+	if run("fig4") {
+		res := eval.RunFigure4(ctx)
+		emit("Figure 4", "IOC reuse distribution", eval.PaperFigure4, res.Render(),
+			fmt.Sprintf("heavy head holds: %.0f%% of domains are single-use.",
+				100*res.SingleUseFraction(graph.KindDomain)))
+	}
+	if run("graph") {
+		res := eval.RunGraphStats(ctx)
+		shape := fmt.Sprintf("giant component %.1f%%, %.0f%% of events within 2 hops (paper: 99.9%%, 85%%).",
+			res.Stats.LargestComponentPct, res.Stats.EventsWithin2HopsPct)
+		emit("Graph stats", "connectivity (§IV-§V)", eval.PaperGraphStats, res.Render(), shape)
+	}
+	if run("table3") {
+		res, err := eval.RunTableIII(ctx, eval.DefaultTableIIIConfig())
+		if err != nil {
+			return err
+		}
+		emit("Table III", "per-IOC attribution", eval.PaperTableIII, res.Render(),
+			tableIIIShape(res))
+	}
+	if run("table4") {
+		cfg4 := eval.DefaultTableIVConfig()
+		cfg4.Models = eval.TraditionalModels()
+		res, err := eval.RunTableIV(ctx, cfg4)
+		if err != nil {
+			return err
+		}
+		emit("Table IV", "event attribution", eval.PaperTableIV, res.Render(),
+			tableIVShape(res))
+	}
+	if run("case") {
+		res, err := eval.RunCaseStudy(ctx)
+		if err != nil {
+			return err
+		}
+		shape := "neighbour labels raise GNN confidence, as in the paper"
+		if res.GNNConfVisible < res.GNNConfBlind {
+			shape = "NOTE: neighbour labels did not raise confidence on this sample"
+		}
+		emit("Figs. 5-6", "case study: new event", eval.PaperCaseStudy, res.Render(), shape)
+	}
+	if run("fig7") {
+		res, err := eval.RunFigure7(ctx)
+		if err != nil {
+			return err
+		}
+		emit("Figure 7", "unseen-month confusion matrix", eval.PaperFigure7, res.Render(),
+			fmt.Sprintf("frozen-model accuracy %.2f on the first unseen month.", res.Accuracy))
+	}
+	if run("fig8") {
+		res, err := eval.RunFigure8(ctx)
+		if err != nil {
+			return err
+		}
+		emit("Figure 8", "model drift", eval.PaperFigure8, res.Render(),
+			fmt.Sprintf("mean retrained-minus-frozen gap over the final 2 months: %+.3f (positive = retraining pays).",
+				res.MeanGapLastMonths(2)))
+	}
+	if run("fig9") {
+		res, err := eval.RunFigure9(ctx, eval.DefaultFigure9Config())
+		if err != nil {
+			return err
+		}
+		emit("Figure 9", "SHAP feature signature", eval.PaperFigure9, res.Render(),
+			"behavioural features (server stack, encoding, lexical style) top the ranking.")
+	}
+	if run("fig10") {
+		res, err := eval.RunFigure10(ctx, "", 15)
+		if err != nil {
+			return err
+		}
+		emit("Figure 10", "GNNExplainer subgraph", eval.PaperFigure10, res.Render(),
+			fmt.Sprintf("top nodes are dominated by IOCs; %d other events among them.",
+				res.ImportantEventNeighbors))
+	}
+	if run("ablations") {
+		res, err := eval.RunAblations(ctx)
+		if err != nil {
+			return err
+		}
+		emit("Ablations", "design choices (DESIGN.md §5)", "n/a (reproduction-specific)",
+			res.Render(), "")
+	}
+	if run("unknown") {
+		res, err := eval.RunUnknownAPTStudy(ctx, "")
+		if err != nil {
+			return err
+		}
+		emit("Unknown APT", "confidence thresholding (§IX)",
+			"future work: low-confidence predictions classified as out-of-distribution",
+			res.Render(), "")
+	}
+	if run("zeroshot") {
+		res, err := eval.RunZeroShotLP(ctx, "")
+		if err != nil {
+			return err
+		}
+		emit("Zero-shot LP", "non-parametric update (§IX)",
+			"LP needs no retraining when labelled data of a new APT is added to the TKG",
+			res.Render(), "")
+	}
+	if run("tuning") {
+		for _, m := range []eval.ModelName{eval.ModelXGB, eval.ModelRF} {
+			res, err := eval.RunTuning(ctx, m, graph.KindURL, 0)
+			if err != nil {
+				return err
+			}
+			emit("TPE "+string(m), "hyperparameter tuning (§VI-A)",
+				"XGB and RF hyperparameters optimised with Hyperopt's TPE",
+				res.Render(), "")
+		}
+	}
+	if *md != "" {
+		f, err := os.Create(*md)
+		if err != nil {
+			return err
+		}
+		if _, err := report.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *md)
+	}
+	return nil
+}
+
+// tableIIIShape verifies the paper's per-IOC ordering: URLs most
+// attributable, domains least.
+func tableIIIShape(res *eval.TableIIIResult) string {
+	best := func(kind graph.NodeKind) float64 {
+		b := 0.0
+		for _, m := range eval.TraditionalModels() {
+			if c := res.Cell(m, kind); c != nil && c.Acc.Mean > b {
+				b = c.Acc.Mean
+			}
+		}
+		return b
+	}
+	url, ip, dom := best(graph.KindURL), best(graph.KindIP), best(graph.KindDomain)
+	verdict := "HOLDS"
+	if !(url > ip && ip > dom) {
+		verdict = "PARTIAL"
+	}
+	return fmt.Sprintf("URL (%.2f) > IP (%.2f) > domain (%.2f) ordering: %s.", url, ip, dom, verdict)
+}
+
+// tableIVShape verifies the paper's event-attribution ordering: LP
+// improves with depth, GNN beats LP.
+func tableIVShape(res *eval.TableIVResult) string {
+	get := func(name string) float64 {
+		if r := res.Row(name); r != nil {
+			return r.Acc.Mean
+		}
+		return -1
+	}
+	lp2, lp4 := get("LP 2L"), get("LP 4L")
+	bestGNN := -1.0
+	for _, n := range []string{"GNN 2L", "GNN 3L", "GNN 4L"} {
+		if v := get(n); v > bestGNN {
+			bestGNN = v
+		}
+	}
+	verdict := "HOLDS"
+	if !(lp4 >= lp2 && bestGNN >= lp4) {
+		verdict = "PARTIAL"
+	}
+	return fmt.Sprintf("LP deepens %.2f->%.2f; best GNN %.2f >= LP 4L: %s.", lp2, lp4, bestGNN, verdict)
+}

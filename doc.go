@@ -1,0 +1,8 @@
+// Package trail is the root of the TRAIL reproduction: a knowledge-graph
+// approach for attributing advanced persistent threats (King et al.,
+// ICDE 2025), rebuilt as a pure-Go library.
+//
+// The implementation lives under internal/: see DESIGN.md for the system
+// inventory, README.md for the quickstart, and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package trail

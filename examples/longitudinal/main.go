@@ -1,0 +1,45 @@
+// Longitudinal study: how fast does an attribution model go stale?
+//
+// Reproduces the paper's Fig. 8 protocol at example scale: train a GNN on
+// an initial window, then step through the following months comparing a
+// frozen model against one fine-tuned on each month as it closes.
+//
+// Run with:
+//
+//	go run ./examples/longitudinal
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trail/internal/eval"
+	"trail/internal/osint"
+)
+
+func main() {
+	// Full-fidelity models on a slightly reduced world; expect a few
+	// minutes of training on one core.
+	opts := eval.DefaultOptions()
+	opts.World = osint.DefaultConfig()
+	opts.World.Months = 16
+	opts.World.EventsPerMonth = 16
+	opts.StudyMonths = 4
+
+	ctx, err := eval.NewContext(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training window: months 1-%d (%d events)\n",
+		ctx.TrainMonths, len(ctx.TKG.EventNodes()))
+
+	res, err := eval.RunFigure8(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Render())
+	fmt.Printf("mean retrained-vs-frozen gap over the last 2 months: %+.3f\n",
+		res.MeanGapLastMonths(2))
+	fmt.Println("\nThe paper's conclusion holds when the gap grows with age:")
+	fmt.Println("keep the TKG updated and fine-tune monthly (cheap: a few epochs).")
+}

@@ -1,0 +1,77 @@
+// Quickstart: build a small TRAIL knowledge graph from a synthetic OSINT
+// feed and attribute one event with label propagation.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trail/internal/core"
+	"trail/internal/graph"
+	"trail/internal/labelprop"
+	"trail/internal/osint"
+)
+
+func main() {
+	// 1. Generate a small synthetic threat-intel world. In a production
+	// deployment this would be a real pulse feed plus real enrichment
+	// services; everything downstream is identical.
+	cfg := osint.DefaultConfig()
+	cfg.Months = 12
+	cfg.EventsPerMonth = 12
+	world := osint.NewWorld(cfg)
+	fmt.Printf("world: %d pulses from %d APT groups\n", len(world.Pulses()), len(world.Roster()))
+
+	// 2. Build the TRAIL knowledge graph: parse reports, enrich IOCs two
+	// hops deep, connect everything with the Table I schema.
+	tkg := core.NewTKG(world, world.Resolver(), core.DefaultBuildConfig())
+	if err := tkg.Build(world.Pulses()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TKG: %d nodes, %d edges, %d attributed events\n",
+		tkg.G.NumNodes(), tkg.G.NumEdges(), len(tkg.EventNodes()))
+	fmt.Println(tkg.Stats())
+
+	// 3. Attribute recent events by resource reuse alone: mask each
+	// event's label, propagate every other event's label 4 steps through
+	// the graph, and read off the distribution. Some events are staged on
+	// entirely fresh infrastructure and stay unreachable — the paper's
+	// known limitation of label propagation (its GNN handles those).
+	events := tkg.EventNodes()
+	names := world.Resolver().Names()
+	adj := tkg.G.Adjacency()
+
+	shown := 0
+	for i := len(events) - 1; i >= 0 && shown < 5; i-- {
+		target := events[i]
+		truth := tkg.G.Node(target).Label
+
+		seeds := make(map[graph.NodeID]int)
+		for _, ev := range events {
+			if ev != target {
+				seeds[ev] = tkg.G.Node(ev).Label
+			}
+		}
+		scores := labelprop.Propagate(adj, seeds, len(world.Roster()), 4)
+		dist := labelprop.Distribution(scores.Row(int(target)))
+
+		fmt.Printf("\nattributing event %s (ground truth %s)\n",
+			tkg.G.Node(target).Key, names[truth])
+		if dist == nil {
+			fmt.Println("  unreachable: no shared infrastructure with any known event")
+		} else {
+			pred := labelprop.Predict(scores, []graph.NodeID{target})[0]
+			verdict := "WRONG"
+			if pred == truth {
+				verdict = "correct"
+			}
+			fmt.Printf("  label propagation says %s (confidence %.2f) — %s\n",
+				names[pred], dist[pred], verdict)
+		}
+		shown++
+	}
+}

@@ -1,0 +1,3 @@
+module trail
+
+go 1.22

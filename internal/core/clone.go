@@ -1,0 +1,45 @@
+package core
+
+import (
+	"bytes"
+
+	"trail/internal/apt"
+	"trail/internal/graph"
+)
+
+// Clone returns a deep copy of the TKG sharing the same enrichment
+// services and extractor. The longitudinal experiments use clones to
+// merge future months into the graph without disturbing the base TKG the
+// other experiments read.
+func (t *TKG) Clone() (*TKG, error) {
+	var buf bytes.Buffer
+	if _, err := t.G.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	g := graph.New()
+	if _, err := g.ReadFrom(&buf); err != nil {
+		return nil, err
+	}
+	features := make(map[graph.NodeID][]float64, len(t.Features))
+	for id, v := range t.Features {
+		features[id] = v // vectors are never mutated after extraction
+	}
+	eventAPTs := make(map[graph.NodeID]map[apt.ID]bool, len(t.eventAPTs))
+	for id, set := range t.eventAPTs {
+		cp := make(map[apt.ID]bool, len(set))
+		for k, v := range set {
+			cp[k] = v
+		}
+		eventAPTs[id] = cp
+	}
+	return &TKG{
+		G:             g,
+		Features:      features,
+		Extractor:     t.Extractor,
+		Resolver:      t.Resolver,
+		Config:        t.Config,
+		svc:           t.svc,
+		SkippedPulses: t.SkippedPulses,
+		eventAPTs:     eventAPTs,
+	}, nil
+}

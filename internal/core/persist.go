@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"trail/internal/apt"
+	"trail/internal/graph"
+	"trail/internal/osint"
+)
+
+// tkgSnapshot is the gob-serialisable envelope for a complete TKG:
+// the graph, the engineered feature vectors, and the build bookkeeping.
+// Enrichment services and the extractor are reattached at load time.
+type tkgSnapshot struct {
+	Version       int
+	Config        BuildConfig
+	SkippedPulses int
+	FeatureIDs    []graph.NodeID
+	FeatureVecs   [][]float64
+	EventAPTIDs   []graph.NodeID
+	EventAPTSets  [][]int32
+}
+
+const tkgSnapshotVersion = 1
+
+// WriteTo serialises the full TKG (graph, features, metadata) to w.
+func (t *TKG) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n, err := t.G.WriteTo(bw)
+	if err != nil {
+		return n, err
+	}
+	snap := tkgSnapshot{
+		Version:       tkgSnapshotVersion,
+		Config:        t.Config,
+		SkippedPulses: t.SkippedPulses,
+	}
+	for id, vec := range t.Features {
+		snap.FeatureIDs = append(snap.FeatureIDs, id)
+		snap.FeatureVecs = append(snap.FeatureVecs, vec)
+	}
+	for id, set := range t.eventAPTs {
+		snap.EventAPTIDs = append(snap.EventAPTIDs, id)
+		var apts []int32
+		for a := range set {
+			apts = append(apts, int32(a))
+		}
+		snap.EventAPTSets = append(snap.EventAPTSets, apts)
+	}
+	if err := gob.NewEncoder(bw).Encode(&snap); err != nil {
+		return n, fmt.Errorf("core: encode TKG snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("core: flush TKG snapshot: %w", err)
+	}
+	return n, nil
+}
+
+// ReadTKG loads a TKG written by WriteTo, reattaching the given
+// enrichment services and resolver (which are not serialised).
+func ReadTKG(r io.Reader, svc osint.Services, resolver *apt.Resolver) (*TKG, error) {
+	br := bufio.NewReader(r)
+	g := graph.New()
+	if _, err := g.ReadFrom(br); err != nil {
+		return nil, err
+	}
+	var snap tkgSnapshot
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decode TKG snapshot: %w", err)
+	}
+	if snap.Version != tkgSnapshotVersion {
+		return nil, fmt.Errorf("core: unsupported TKG snapshot version %d", snap.Version)
+	}
+	if len(snap.FeatureIDs) != len(snap.FeatureVecs) || len(snap.EventAPTIDs) != len(snap.EventAPTSets) {
+		return nil, fmt.Errorf("core: corrupt TKG snapshot: ragged arrays")
+	}
+	t := NewTKG(svc, resolver, snap.Config)
+	t.G = g
+	t.SkippedPulses = snap.SkippedPulses
+	nodes := g.NumNodes()
+	for i, id := range snap.FeatureIDs {
+		if int(id) >= nodes {
+			return nil, fmt.Errorf("core: corrupt TKG snapshot: feature node %d out of range", id)
+		}
+		t.Features[id] = snap.FeatureVecs[i]
+	}
+	for i, id := range snap.EventAPTIDs {
+		if int(id) >= nodes {
+			return nil, fmt.Errorf("core: corrupt TKG snapshot: eventAPT node %d out of range", id)
+		}
+		set := make(map[apt.ID]bool, len(snap.EventAPTSets[i]))
+		for _, a := range snap.EventAPTSets[i] {
+			set[apt.ID(a)] = true
+		}
+		t.eventAPTs[id] = set
+	}
+	return t, nil
+}
+
+// Save writes the TKG snapshot to path atomically.
+func (t *TKG) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// LoadTKG reads a TKG snapshot from path.
+func LoadTKG(path string, svc osint.Services, resolver *apt.Resolver) (*TKG, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	defer f.Close()
+	return ReadTKG(f, svc, resolver)
+}

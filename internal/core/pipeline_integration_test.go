@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"trail/internal/graph"
+	"trail/internal/osint"
+)
+
+// TestBuildThroughCachedServices checks that the production enrichment
+// stack (prefetch into a cache, then build through the cache) produces a
+// TKG identical to building against the backend directly.
+func TestBuildThroughCachedServices(t *testing.T) {
+	w := osint.NewWorld(osint.TestConfig())
+
+	direct := NewTKG(w, w.Resolver(), DefaultBuildConfig())
+	if err := direct.Build(w.Pulses()); err != nil {
+		t.Fatal(err)
+	}
+
+	cached := osint.NewCachedServices(w)
+	pf := &osint.Prefetcher{Services: cached, Workers: 4}
+	if _, err := pf.Prefetch(context.Background(), w.Pulses()); err != nil {
+		t.Fatal(err)
+	}
+	viaCache := NewTKG(cached, w.Resolver(), DefaultBuildConfig())
+	if err := viaCache.Build(w.Pulses()); err != nil {
+		t.Fatal(err)
+	}
+
+	if viaCache.G.NumNodes() != direct.G.NumNodes() || viaCache.G.NumEdges() != direct.G.NumEdges() {
+		t.Fatalf("cached build diverged: %d/%d nodes, %d/%d edges",
+			viaCache.G.NumNodes(), direct.G.NumNodes(),
+			viaCache.G.NumEdges(), direct.G.NumEdges())
+	}
+	if len(viaCache.Features) != len(direct.Features) {
+		t.Fatalf("cached build feature count diverged: %d vs %d",
+			len(viaCache.Features), len(direct.Features))
+	}
+	// Spot-check adjacency equivalence node by node.
+	for id := 0; id < direct.G.NumNodes(); id++ {
+		a := direct.G.SortedNeighborKeys(graph.NodeID(id))
+		b := viaCache.G.SortedNeighborKeys(graph.NodeID(id))
+		if len(a) != len(b) {
+			t.Fatalf("node %d adjacency diverged", id)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d neighbor %d: %s vs %s", id, i, a[i], b[i])
+			}
+		}
+	}
+	hits, misses := cached.Stats()
+	if hits == 0 {
+		t.Error("cache never hit during the build; prefetch was useless")
+	}
+	_ = misses
+}

@@ -1,0 +1,296 @@
+// Package core implements the paper's primary contribution: the TRAIL
+// system that turns a feed of attributed OSINT incident reports into the
+// TRAIL Knowledge Graph (TKG).
+//
+// The pipeline follows §III-§IV of the paper:
+//
+//  1. Collect: parse pulses, resolve APT tags (discarding reports whose
+//     tags map to more than one group), refang and classify indicators.
+//  2. Enrich: query passive DNS, IP lookup and URL probing for every
+//     reported IOC; the responses both yield feature vectors and reveal
+//     secondary IOCs (IPs behind domains, domains historically on an IP,
+//     ASN groups), which are themselves analysed, up to a configurable
+//     hop limit (2 in the paper).
+//  3. Merge: connect everything into the shared knowledge graph using the
+//     Table I schema (InReport, ARecord, InGroup, ResolvesTo, HostedOn).
+//
+// The resulting TKG bundles the property graph, per-node feature vectors,
+// and event labels; the analysis packages (labelprop, gnn, ml, tree)
+// consume it directly.
+package core
+
+import (
+	"fmt"
+
+	"trail/internal/apt"
+	"trail/internal/feature"
+	"trail/internal/graph"
+	"trail/internal/ioc"
+	"trail/internal/osint"
+)
+
+// BuildConfig controls TKG construction.
+type BuildConfig struct {
+	// MaxHops bounds how far from the event node relation expansion
+	// proceeds: IOCs at hop <= MaxHops-1 have their relations followed
+	// (the paper uses 2: reported IOCs sit at hop 1 and are expanded, the
+	// secondary IOCs they reveal sit at hop 2 and are not).
+	MaxHops int
+	// FeaturizeSecondaries requests feature analysis for secondary IOCs
+	// too (the paper does). Disabling it is an ablation knob.
+	FeaturizeSecondaries bool
+}
+
+// DefaultBuildConfig mirrors the paper's construction parameters.
+func DefaultBuildConfig() BuildConfig {
+	return BuildConfig{MaxHops: 2, FeaturizeSecondaries: true}
+}
+
+// TKG is the TRAIL knowledge graph: the property graph plus node feature
+// vectors and build bookkeeping.
+type TKG struct {
+	G *graph.Graph
+	// Features holds the engineered vector for IOC nodes that have one
+	// (events and ASNs have none).
+	Features map[graph.NodeID][]float64
+	// Extractor is the featurizer used during the build; the analysis
+	// code reuses it for fresh, not-yet-merged IOCs.
+	Extractor *feature.Extractor
+	Resolver  *apt.Resolver
+	Config    BuildConfig
+
+	svc osint.Services
+	// SkippedPulses counts reports discarded for conflicting tags.
+	SkippedPulses int
+	// eventAPTs tracks, per IOC node, the set of distinct APTs of events
+	// it appears in; used to derive single-label IOC labels (Table III).
+	eventAPTs map[graph.NodeID]map[apt.ID]bool
+}
+
+// NewTKG returns an empty TKG that enriches through svc and resolves tags
+// through resolver.
+func NewTKG(svc osint.Services, resolver *apt.Resolver, cfg BuildConfig) *TKG {
+	if cfg.MaxHops < 1 {
+		cfg.MaxHops = 1
+	}
+	return &TKG{
+		G:         graph.New(),
+		Features:  make(map[graph.NodeID][]float64),
+		Extractor: feature.NewExtractor(svc),
+		Resolver:  resolver,
+		Config:    cfg,
+		svc:       svc,
+		eventAPTs: make(map[graph.NodeID]map[apt.ID]bool),
+	}
+}
+
+// Build ingests a batch of pulses and finalises derived labels.
+func (t *TKG) Build(pulses []osint.Pulse) error {
+	for i := range pulses {
+		if _, err := t.AddPulse(pulses[i]); err != nil {
+			return fmt.Errorf("core: pulse %d (%s): %w", i, pulses[i].ID, err)
+		}
+	}
+	t.FinalizeLabels()
+	return nil
+}
+
+// ErrSkipped is returned by AddPulse for reports discarded by the tag
+// resolution rule; the TKG is unchanged in that case.
+var ErrSkipped = fmt.Errorf("core: pulse skipped (no unique APT tag)")
+
+// AddPulse merges one incident report into the TKG and returns the event
+// node ID. Reports whose tags do not resolve to exactly one APT return
+// ErrSkipped.
+func (t *TKG) AddPulse(p osint.Pulse) (graph.NodeID, error) {
+	label, ok := t.Resolver.ResolveTags(p.Tags)
+	if !ok {
+		t.SkippedPulses++
+		return 0, ErrSkipped
+	}
+
+	eventID, created := t.G.Upsert(graph.KindEvent, p.ID)
+	if !created {
+		return eventID, fmt.Errorf("core: duplicate pulse ID %q", p.ID)
+	}
+	month := p.Month
+	t.G.UpdateNode(eventID, func(n *graph.Node) {
+		n.Label = int(label)
+		n.Month = month
+	})
+
+	// hop tracks the shortest distance (in IOC links) from the event at
+	// which we first saw each IOC this pulse contributes.
+	type pending struct {
+		id  graph.NodeID
+		ioc ioc.IOC
+		hop int
+	}
+	var queue []pending
+
+	touch := func(i ioc.IOC, hop int) (graph.NodeID, bool) {
+		kind, ok := kindOf(i.Type)
+		if !ok {
+			return 0, false
+		}
+		id, created := t.G.Upsert(kind, i.Value)
+		if created {
+			t.G.UpdateNode(id, func(n *graph.Node) { n.Month = month })
+			if t.Config.FeaturizeSecondaries || hop <= 1 {
+				t.featurize(id, i)
+			}
+			queue = append(queue, pending{id: id, ioc: i, hop: hop})
+		}
+		return id, true
+	}
+
+	// First-order IOCs: refang, classify, connect to the event.
+	for _, ind := range p.Indicators {
+		item, ok := ioc.Classify(ind.Indicator)
+		if !ok {
+			continue // data-quality filter (§IX)
+		}
+		id, ok := touch(item, 1)
+		if !ok {
+			continue
+		}
+		t.G.UpdateNode(id, func(n *graph.Node) {
+			if !n.FirstOrder {
+				n.FirstOrder = true
+			}
+		})
+		t.G.AddEdge(eventID, id, graph.EdgeInReport)
+		t.noteEventAPT(id, label)
+		// Late featurization: a node first seen as a secondary IOC in an
+		// earlier pulse may have been skipped by the ablation flag.
+		if _, has := t.Features[id]; !has {
+			t.featurize(id, item)
+		}
+	}
+
+	// Relation expansion, bounded by MaxHops.
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.hop >= t.Config.MaxHops {
+			continue
+		}
+		t.expand(cur.id, cur.ioc, cur.hop, touch)
+	}
+	return eventID, nil
+}
+
+// expand follows the Table I relations of one IOC, creating secondary
+// nodes via touch at hop+1.
+func (t *TKG) expand(id graph.NodeID, item ioc.IOC, hop int, touch func(ioc.IOC, int) (graph.NodeID, bool)) {
+	switch item.Type {
+	case ioc.TypeIP:
+		if rec, ok := t.svc.LookupIP(item.Value); ok && rec.ASN != 0 {
+			asnID, _ := t.G.Upsert(graph.KindASN, fmt.Sprintf("AS%d", rec.ASN))
+			t.G.AddEdge(id, asnID, graph.EdgeInGroup)
+		}
+		if domains, ok := t.svc.PassiveDNSIP(item.Value); ok {
+			for _, d := range domains {
+				if dID, ok := touch(ioc.IOC{Type: ioc.TypeDomain, Value: d}, hop+1); ok {
+					t.G.AddEdge(id, dID, graph.EdgeARecord)
+				}
+			}
+		}
+	case ioc.TypeDomain:
+		if rec, ok := t.svc.PassiveDNSDomain(item.Value); ok {
+			for _, ip := range rec.ARecords {
+				if ipID, ok := touch(ioc.IOC{Type: ioc.TypeIP, Value: ip}, hop+1); ok {
+					t.G.AddEdge(id, ipID, graph.EdgeResolvesTo)
+				}
+			}
+		}
+	case ioc.TypeURL:
+		// HostedOn comes from lexical analysis of the URL itself.
+		if u, ok := ioc.ParseURL(item.Value); ok && !u.HostIsIP {
+			if dID, ok := touch(ioc.IOC{Type: ioc.TypeDomain, Value: u.Host}, hop+1); ok {
+				t.G.AddEdge(id, dID, graph.EdgeHostedOn)
+			}
+		}
+		if rec, ok := t.svc.ProbeURL(item.Value); ok {
+			for _, ip := range rec.ResolvesTo {
+				if ipID, ok := touch(ioc.IOC{Type: ioc.TypeIP, Value: ip}, hop+1); ok {
+					t.G.AddEdge(id, ipID, graph.EdgeResolvesTo)
+				}
+			}
+		}
+	}
+}
+
+func (t *TKG) featurize(id graph.NodeID, item ioc.IOC) {
+	if v, _ := t.Extractor.Extract(item); v != nil {
+		t.Features[id] = v
+	}
+}
+
+func (t *TKG) noteEventAPT(id graph.NodeID, label apt.ID) {
+	set := t.eventAPTs[id]
+	if set == nil {
+		set = make(map[apt.ID]bool, 1)
+		t.eventAPTs[id] = set
+	}
+	set[label] = true
+}
+
+// FinalizeLabels derives per-IOC metadata from event membership: the
+// EventCount reuse statistic and, for first-order IOCs whose events all
+// share one APT, the IOC label used by the Table III experiments.
+// Safe to call repeatedly (e.g. after merging a new pulse).
+func (t *TKG) FinalizeLabels() {
+	for id, set := range t.eventAPTs {
+		label := -1
+		if len(set) == 1 {
+			for a := range set {
+				label = int(a)
+			}
+		}
+		count := 0
+		t.G.NeighborEdges(id, func(_ graph.NodeID, et graph.EdgeType, _ bool) bool {
+			if et == graph.EdgeInReport {
+				count++
+			}
+			return true
+		})
+		t.G.UpdateNode(id, func(n *graph.Node) {
+			n.Label = label
+			n.EventCount = count
+		})
+	}
+}
+
+// EventNodes returns all event node IDs.
+func (t *TKG) EventNodes() []graph.NodeID {
+	return t.G.NodesOfKind(graph.KindEvent)
+}
+
+// LabeledIOCs returns, for the given kind, the first-order IOC nodes
+// carrying a unique APT label: the training set of the per-IOC
+// attribution experiments.
+func (t *TKG) LabeledIOCs(kind graph.NodeKind) (ids []graph.NodeID, labels []int) {
+	t.G.ForEachNode(func(n graph.Node) {
+		if n.Kind == kind && n.FirstOrder && n.Label >= 0 {
+			ids = append(ids, n.ID)
+			labels = append(labels, n.Label)
+		}
+	})
+	return ids, labels
+}
+
+func kindOf(t ioc.Type) (graph.NodeKind, bool) {
+	switch t {
+	case ioc.TypeIP:
+		return graph.KindIP, true
+	case ioc.TypeURL:
+		return graph.KindURL, true
+	case ioc.TypeDomain:
+		return graph.KindDomain, true
+	case ioc.TypeASN:
+		return graph.KindASN, true
+	default:
+		return 0, false
+	}
+}

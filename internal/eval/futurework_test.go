@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownAPTStudy(t *testing.T) {
+	ctx := getCtx(t)
+	res, err := RunUnknownAPTStudy(ctx, "APT38")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no threshold points")
+	}
+	// Monotonicity: raising the threshold can only reject more unknowns
+	// and attribute fewer knowns.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].UnknownRejected < res.Points[i-1].UnknownRejected-1e-9 {
+			t.Fatal("unknown rejection not monotone in the threshold")
+		}
+		if res.Points[i].KnownCoverage > res.Points[i-1].KnownCoverage+1e-9 {
+			t.Fatal("known coverage not monotone in the threshold")
+		}
+	}
+	// Threshold 0 attributes everything and rejects nothing.
+	if res.Points[0].KnownCoverage != 1 || res.Points[0].UnknownRejected != 0 {
+		t.Fatalf("threshold 0 point wrong: %+v", res.Points[0])
+	}
+	if !strings.Contains(res.Render(), "APT38") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestUnknownAPTStudyUnknownName(t *testing.T) {
+	ctx := getCtx(t)
+	if _, err := RunUnknownAPTStudy(ctx, "NOT_A_GROUP"); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}
+
+func TestZeroShotLP(t *testing.T) {
+	ctx := getCtx(t)
+	res, err := RunZeroShotLP(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SeedEvents == 0 || res.TestEvents == 0 {
+		t.Fatal("empty split")
+	}
+	// Without the group's seeds, LP cannot ever name the group: the
+	// control accuracy must be zero.
+	if res.LPAccuracyWithoutSeeds != 0 {
+		t.Fatalf("control accuracy %.3f != 0 — the group leaked into the seed set",
+			res.LPAccuracyWithoutSeeds)
+	}
+	// With the seeds merged (no retraining), accuracy must improve.
+	if res.LPAccuracy <= res.LPAccuracyWithoutSeeds {
+		t.Fatalf("zero-shot seeds did not help: %.3f", res.LPAccuracy)
+	}
+}
+
+func TestAblationSAGEvsGCN(t *testing.T) {
+	ctx := getCtx(t)
+	row, err := RunAblationSAGEvsGCN(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.AccA < 0 || row.AccA > 1 || row.AccB < 0 || row.AccB > 1 {
+		t.Fatalf("accuracies out of range: %+v", row)
+	}
+}
+
+func TestRunTuningRF(t *testing.T) {
+	ctx := getCtx(t)
+	res, err := RunTuning(ctx, ModelRF, graphKindURLForTest(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 6 {
+		t.Fatalf("trials %d", res.Trials)
+	}
+	if res.BestScore < 0 || res.BestScore > 1 {
+		t.Fatalf("best score %v", res.BestScore)
+	}
+	// The tuned optimum can never be worse than the trials' own best by
+	// construction; sanity-check the render too.
+	if !strings.Contains(res.Render(), "TPE tuning") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunTuningRejectsNN(t *testing.T) {
+	ctx := getCtx(t)
+	if _, err := RunTuning(ctx, ModelNN, graphKindURLForTest(), 3); err == nil {
+		t.Fatal("NN should not be tunable (paper tunes XGB and RF only)")
+	}
+}

@@ -1,0 +1,193 @@
+package feature
+
+import (
+	"testing"
+
+	"trail/internal/ioc"
+	"trail/internal/osint"
+)
+
+func testExtractor(t testing.TB) (*Extractor, *osint.World) {
+	t.Helper()
+	w := osint.NewWorld(osint.TestConfig())
+	return NewExtractor(w), w
+}
+
+func TestDimensionsMatchPaper(t *testing.T) {
+	if IPDim != 507 {
+		t.Errorf("IPDim = %d, want 507", IPDim)
+	}
+	if URLDim != 1517 {
+		t.Errorf("URLDim = %d, want 1517", URLDim)
+	}
+	if DomainDim != 115 {
+		t.Errorf("DomainDim = %d, want 115", DomainDim)
+	}
+}
+
+func TestNamesCoverEveryDimension(t *testing.T) {
+	cases := []struct {
+		typ ioc.Type
+		dim int
+	}{
+		{ioc.TypeIP, IPDim},
+		{ioc.TypeURL, URLDim},
+		{ioc.TypeDomain, DomainDim},
+	}
+	for _, c := range cases {
+		names := Names(c.typ)
+		if len(names) != c.dim {
+			t.Errorf("%v: %d names for %d dims", c.typ, len(names), c.dim)
+			continue
+		}
+		seen := map[string]bool{}
+		for _, n := range names {
+			if n == "" {
+				t.Errorf("%v: empty feature name", c.typ)
+			}
+			if seen[n] {
+				t.Errorf("%v: duplicate feature name %q", c.typ, n)
+			}
+			seen[n] = true
+		}
+	}
+	if Names(ioc.TypeASN) != nil {
+		t.Error("ASNs have no features")
+	}
+}
+
+func firstIndicator(t *testing.T, w *osint.World, typ ioc.Type) string {
+	t.Helper()
+	for _, p := range w.Pulses() {
+		for _, ind := range p.Indicators {
+			if item, ok := ioc.Classify(ind.Indicator); ok && item.Type == typ {
+				return item.Value
+			}
+		}
+	}
+	t.Fatalf("no %v indicator in world", typ)
+	return ""
+}
+
+func TestIPFeatures(t *testing.T) {
+	e, w := testExtractor(t)
+	addr := firstIndicator(t, w, ioc.TypeIP)
+	v, ok := e.IP(addr)
+	if !ok {
+		t.Fatalf("IP %s not enriched", addr)
+	}
+	if len(v) != IPDim {
+		t.Fatalf("dim %d", len(v))
+	}
+	// Exactly one country and one issuer bit set.
+	if got := countOnes(v[:osint.NumCountries]); got != 1 {
+		t.Fatalf("country one-hot has %d bits", got)
+	}
+	if got := countOnes(v[osint.NumCountries : osint.NumCountries+osint.NumIssuers]); got != 1 {
+		t.Fatalf("issuer one-hot has %d bits", got)
+	}
+	if v[IPDim-1] != 1 {
+		t.Fatal("known flag unset")
+	}
+}
+
+func TestUnknownIPZeroVector(t *testing.T) {
+	e, _ := testExtractor(t)
+	v, ok := e.IP("203.0.113.199")
+	if ok {
+		t.Fatal("unknown IP reported as enriched")
+	}
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("unknown IP vector not zero")
+		}
+	}
+}
+
+func TestURLFeatures(t *testing.T) {
+	e, w := testExtractor(t)
+	raw := firstIndicator(t, w, ioc.TypeURL)
+	v, ok := e.URL(raw)
+	if !ok {
+		t.Fatalf("URL %s not enriched", raw)
+	}
+	if len(v) != URLDim {
+		t.Fatalf("dim %d", len(v))
+	}
+	names := Names(ioc.TypeURL)
+	byName := map[string]float64{}
+	for i, n := range names {
+		byName[n] = v[i]
+	}
+	if byName["url_length"] != float64(len(raw)) {
+		t.Fatalf("url_length %v for %q", byName["url_length"], raw)
+	}
+	if byName["probe_known"] != 1 {
+		t.Fatal("probe_known unset")
+	}
+	if byName["url_entropy"] <= 0 {
+		t.Fatal("entropy missing")
+	}
+}
+
+func TestURLLexicalWithoutProbe(t *testing.T) {
+	e, _ := testExtractor(t)
+	raw := "http://never-generated.example/some/path.php"
+	v, ok := e.URL(raw)
+	if ok {
+		t.Fatal("unknown URL reported as probed")
+	}
+	names := Names(ioc.TypeURL)
+	nonzero := 0
+	for i := range v {
+		if v[i] != 0 {
+			nonzero++
+			_ = names[i]
+		}
+	}
+	// Lexical and TLD features must still populate.
+	if nonzero < 5 {
+		t.Fatalf("only %d nonzero lexical features", nonzero)
+	}
+}
+
+func TestDomainFeatures(t *testing.T) {
+	e, w := testExtractor(t)
+	name := firstIndicator(t, w, ioc.TypeDomain)
+	v, ok := e.Domain(name)
+	if !ok {
+		t.Fatalf("domain %s not enriched", name)
+	}
+	if len(v) != DomainDim {
+		t.Fatalf("dim %d", len(v))
+	}
+	// A-record count lives right after the TLD one-hot.
+	if v[osint.NumTLDs] < 1 {
+		t.Fatalf("A record count %v", v[osint.NumTLDs])
+	}
+	// Lexical length is the 2nd-to-last block.
+	if v[osint.NumTLDs+9+1] != float64(len(name)) {
+		t.Fatalf("domain length feature %v for %q", v[osint.NumTLDs+9+1], name)
+	}
+}
+
+func TestExtractDispatch(t *testing.T) {
+	e, w := testExtractor(t)
+	addr := firstIndicator(t, w, ioc.TypeIP)
+	if v, ok := e.Extract(ioc.IOC{Type: ioc.TypeIP, Value: addr}); !ok || len(v) != IPDim {
+		t.Fatal("Extract IP failed")
+	}
+	if v, ok := e.Extract(ioc.IOC{Type: ioc.TypeASN, Value: "AS1"}); ok || v != nil {
+		t.Fatal("ASNs must have no features")
+	}
+}
+
+func countOnes(v []float64) int {
+	n := 0
+	for _, x := range v {
+		if x == 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,78 @@
+package feature
+
+import (
+	"fmt"
+
+	"trail/internal/ioc"
+	"trail/internal/osint"
+)
+
+// Names returns human-readable names for every feature dimension of the
+// given IOC type, in vector order. The explainability experiments (SHAP,
+// Fig. 9) use these to label the most impactful features.
+func Names(t ioc.Type) []string {
+	switch t {
+	case ioc.TypeIP:
+		return ipNames()
+	case ioc.TypeURL:
+		return urlNames()
+	case ioc.TypeDomain:
+		return domainNames()
+	default:
+		return nil
+	}
+}
+
+func prefixed(prefix string, vocab []string) []string {
+	out := make([]string, len(vocab))
+	for i, v := range vocab {
+		out[i] = fmt.Sprintf("%s=%s", prefix, v)
+	}
+	return out
+}
+
+func ipNames() []string {
+	names := make([]string, 0, IPDim)
+	names = append(names, prefixed("country", osint.Countries())...)
+	names = append(names, prefixed("issuer", osint.Issuers())...)
+	names = append(names,
+		"latitude", "longitude", "has_asn", "has_issuer", "has_country",
+		"log_pdns_domains", "has_pdns", "known")
+	return names
+}
+
+func urlNames() []string {
+	names := make([]string, 0, URLDim)
+	names = append(names, prefixed("filetype", osint.FileTypes())...)
+	names = append(names, prefixed("fileclass", osint.FileClasses())...)
+	names = append(names, prefixed("http_code", osint.HTTPCodes())...)
+	names = append(names, prefixed("encoding", osint.Encodings())...)
+	names = append(names, prefixed("server", osint.Servers())...)
+	names = append(names, prefixed("server_os", osint.OSes())...)
+	names = append(names, prefixed("service", osint.ServiceNames())...)
+	names = append(names, prefixed("tld", osint.TLDs())...)
+	names = append(names,
+		"url_length", "url_digits", "url_letters", "url_specials",
+		"url_dots", "url_slashes", "url_query_params", "url_path_depth",
+		"url_entropy", "url_digit_ratio")
+	names = append(names,
+		"is_https", "alive", "host_is_ip", "has_port", "log_resolves",
+		"has_query", "code_200", "code_gone", "code_5xx", "ext_len",
+		"host_len", "path_len", "query_amps", "host_dots", "host_entropy",
+		"host_digit_ratio", "host_max_label", "num_services",
+		"has_host_domain", "has_encoding", "has_server", "has_server_os",
+		"probe_known")
+	return names
+}
+
+func domainNames() []string {
+	names := make([]string, 0, DomainDim)
+	names = append(names, prefixed("tld", osint.TLDs())...)
+	names = append(names,
+		"dns_a", "dns_aaaa", "dns_cname", "dns_mx", "dns_ns",
+		"dns_txt", "dns_soa", "dns_ptr", "dns_srv")
+	names = append(names, "nxdomain")
+	names = append(names, "domain_length", "domain_digits", "domain_dots", "domain_entropy")
+	names = append(names, "active_period")
+	return names
+}

@@ -1,0 +1,210 @@
+// Package gnn implements the graph neural network track of the paper
+// (§VI-C): per-IOC-type autoencoders that project heterogeneous feature
+// vectors into a shared 64-dimensional space (Eq. 5), and a GraphSAGE
+// classifier (Eq. 3) with post-aggregation L2 normalisation (Eq. 4)
+// trained to attribute event nodes, with hand-derived gradients on the
+// stdlib.
+package gnn
+
+import (
+	"errors"
+	"math/rand"
+
+	"trail/internal/mat"
+	"trail/internal/ml"
+)
+
+// linear is a bias-equipped dense layer with explicit gradient
+// accumulators, shared by the autoencoders, the label embedding, and the
+// SAGE layers.
+type linear struct {
+	w, b *ml.Param
+}
+
+func newLinear(rng *rand.Rand, in, out int) *linear {
+	return &linear{
+		w: &ml.Param{W: mat.GlorotUniform(rng, in, out), G: mat.New(in, out)},
+		b: &ml.Param{W: mat.New(1, out), G: mat.New(1, out)},
+	}
+}
+
+func (l *linear) forward(x *mat.Matrix) *mat.Matrix {
+	out := mat.MatMul(x, l.w.W)
+	out.AddRowVector(l.b.W.Row(0))
+	return out
+}
+
+// backward accumulates gradients given the layer input and the output
+// gradient, returning the input gradient.
+func (l *linear) backward(x, grad *mat.Matrix) *mat.Matrix {
+	mat.AddInPlace(l.w.G, mat.MatMulTransA(x, grad))
+	bg := l.b.G.Row(0)
+	for i := 0; i < grad.Rows; i++ {
+		mat.Axpy(1, grad.Row(i), bg)
+	}
+	return mat.MatMulTransB(grad, l.w.W)
+}
+
+func (l *linear) params() []*ml.Param { return []*ml.Param{l.w, l.b} }
+
+// reluForward returns max(x,0) and the mask for backprop.
+func reluForward(x *mat.Matrix) (out, mask *mat.Matrix) {
+	out = x.Clone()
+	mask = mat.New(x.Rows, x.Cols)
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+		} else {
+			mask.Data[i] = 1
+		}
+	}
+	return out, mask
+}
+
+// AEConfig configures one autoencoder. The paper uses two-layer encoder
+// and decoder with 512 hidden units and a 64-dimensional code.
+type AEConfig struct {
+	Hidden   int
+	Encoding int
+	LR       float64
+	Epochs   int
+	Batch    int
+	Seed     int64
+	// MaxRows caps the training subsample (0 = all rows); feature
+	// matrices can be large and the code only needs to be information
+	// preserving, not perfect.
+	MaxRows int
+}
+
+// DefaultAEConfig returns a laptop-scale configuration (paper values:
+// Hidden 512).
+func DefaultAEConfig() AEConfig {
+	return AEConfig{Hidden: 128, Encoding: 64, LR: 1e-3, Epochs: 5, Batch: 64, Seed: 1, MaxRows: 4000}
+}
+
+// Autoencoder is the Eq. 5 module: encoder f and decoder g, each a
+// two-layer feed-forward network, trained with reconstruction MSE.
+type Autoencoder struct {
+	Config                 AEConfig
+	enc1, enc2, dec1, dec2 *linear
+	inDim                  int
+}
+
+// NewAutoencoder returns an untrained autoencoder.
+func NewAutoencoder(cfg AEConfig) *Autoencoder {
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = 128
+	}
+	if cfg.Encoding <= 0 {
+		cfg.Encoding = 64
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 1e-3
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 5
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	return &Autoencoder{Config: cfg}
+}
+
+// InitRandom builds the encoder/decoder weights without any training —
+// the "plain random projection" baseline the paper's §VI-C argues
+// against; used by the encoder-type ablation bench.
+func (a *Autoencoder) InitRandom(inDim int) {
+	rng := rand.New(rand.NewSource(a.Config.Seed))
+	a.inDim = inDim
+	a.enc1 = newLinear(rng, inDim, a.Config.Hidden)
+	a.enc2 = newLinear(rng, a.Config.Hidden, a.Config.Encoding)
+	a.dec1 = newLinear(rng, a.Config.Encoding, a.Config.Hidden)
+	a.dec2 = newLinear(rng, a.Config.Hidden, inDim)
+}
+
+// Fit minimises ||X - g(f(X))||^2 with Adam.
+func (a *Autoencoder) Fit(X *mat.Matrix) error {
+	if X.Rows == 0 {
+		return errors.New("gnn: Autoencoder.Fit empty input")
+	}
+	cfg := a.Config
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a.inDim = X.Cols
+	a.enc1 = newLinear(rng, X.Cols, cfg.Hidden)
+	a.enc2 = newLinear(rng, cfg.Hidden, cfg.Encoding)
+	a.dec1 = newLinear(rng, cfg.Encoding, cfg.Hidden)
+	a.dec2 = newLinear(rng, cfg.Hidden, X.Cols)
+
+	var params []*ml.Param
+	for _, l := range []*linear{a.enc1, a.enc2, a.dec1, a.dec2} {
+		params = append(params, l.params()...)
+	}
+	opt := ml.NewAdam(cfg.LR, params)
+
+	idx := make([]int, X.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	if cfg.MaxRows > 0 && len(idx) > cfg.MaxRows {
+		mat.Shuffle(rng, idx)
+		idx = idx[:cfg.MaxRows]
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		mat.Shuffle(rng, idx)
+		for start := 0; start < len(idx); start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			xb := X.SelectRows(idx[start:end])
+			// Forward.
+			h1 := a.enc1.forward(xb)
+			h1a, m1 := reluForward(h1)
+			code := a.enc2.forward(h1a)
+			d1 := a.dec1.forward(code)
+			d1a, m2 := reluForward(d1)
+			recon := a.dec2.forward(d1a)
+			// MSE gradient: 2(recon - x)/n.
+			grad := mat.Sub(recon, xb).Scale(2 / float64(xb.Rows*xb.Cols))
+			// Backward.
+			g := a.dec2.backward(d1a, grad)
+			g = mat.Hadamard(g, m2)
+			g = a.dec1.backward(code, g)
+			g = a.enc2.backward(h1a, g)
+			g = mat.Hadamard(g, m1)
+			a.enc1.backward(xb, g)
+			opt.Step()
+		}
+	}
+	return nil
+}
+
+// Encode projects rows of X into the code space.
+func (a *Autoencoder) Encode(X *mat.Matrix) *mat.Matrix {
+	if a.enc1 == nil {
+		panic("gnn: Autoencoder.Encode before Fit")
+	}
+	h1, _ := reluForward(a.enc1.forward(X))
+	return a.enc2.forward(h1)
+}
+
+// Reconstruct runs the full encode-decode round trip.
+func (a *Autoencoder) Reconstruct(X *mat.Matrix) *mat.Matrix {
+	code := a.Encode(X)
+	d1, _ := reluForward(a.dec1.forward(code))
+	return a.dec2.forward(d1)
+}
+
+// ReconstructionError returns mean squared reconstruction error over X.
+func (a *Autoencoder) ReconstructionError(X *mat.Matrix) float64 {
+	if X.Rows == 0 {
+		return 0
+	}
+	rec := a.Reconstruct(X)
+	sum := 0.0
+	for i, v := range rec.Data {
+		d := v - X.Data[i]
+		sum += d * d
+	}
+	return sum / float64(len(X.Data))
+}

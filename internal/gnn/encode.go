@@ -1,0 +1,137 @@
+package gnn
+
+import (
+	"fmt"
+
+	"trail/internal/graph"
+	"trail/internal/mat"
+	"trail/internal/ml"
+)
+
+// EncoderSet bundles the three per-IOC-type autoencoders of §VI-C, each
+// paired with the standard scaler fitted on its kind's feature matrix
+// (autoencoding unscaled features lets large-magnitude lexical dimensions
+// dominate the reconstruction loss and wrecks the code space).
+type EncoderSet struct {
+	Config  AEConfig
+	AEs     map[graph.NodeKind]*Autoencoder
+	Scalers map[graph.NodeKind]*ml.StandardScaler
+}
+
+// TrainEncoders fits one autoencoder per IOC kind present in feats and
+// returns the set. feats maps node IDs to raw engineered vectors; kinds
+// reports each node's kind.
+func TrainEncoders(g *graph.Graph, feats map[graph.NodeID][]float64, cfg AEConfig) (*EncoderSet, error) {
+	set := &EncoderSet{
+		Config:  cfg,
+		AEs:     make(map[graph.NodeKind]*Autoencoder),
+		Scalers: make(map[graph.NodeKind]*ml.StandardScaler),
+	}
+	for _, kind := range []graph.NodeKind{graph.KindIP, graph.KindURL, graph.KindDomain} {
+		var rows [][]float64
+		g.ForEachNode(func(n graph.Node) {
+			if n.Kind == kind {
+				if v, ok := feats[n.ID]; ok {
+					rows = append(rows, v)
+				}
+			}
+		})
+		if len(rows) == 0 {
+			continue
+		}
+		X := mat.FromRows(rows)
+		scaler := ml.FitScaler(X)
+		aeCfg := cfg
+		aeCfg.Seed = cfg.Seed + int64(kind)
+		ae := NewAutoencoder(aeCfg)
+		if err := ae.Fit(scaler.Transform(X)); err != nil {
+			return nil, fmt.Errorf("gnn: train %s encoder: %w", kind, err)
+		}
+		set.AEs[kind] = ae
+		set.Scalers[kind] = scaler
+	}
+	return set, nil
+}
+
+// RandomEncoders builds an EncoderSet whose autoencoders are randomly
+// initialised but never trained: the linear-projection baseline for the
+// encoder-type ablation. Scalers are still fitted so the comparison
+// isolates the reconstruction training itself.
+func RandomEncoders(g *graph.Graph, feats map[graph.NodeID][]float64, cfg AEConfig) *EncoderSet {
+	set := &EncoderSet{
+		Config:  cfg,
+		AEs:     make(map[graph.NodeKind]*Autoencoder),
+		Scalers: make(map[graph.NodeKind]*ml.StandardScaler),
+	}
+	for _, kind := range []graph.NodeKind{graph.KindIP, graph.KindURL, graph.KindDomain} {
+		var rows [][]float64
+		g.ForEachNode(func(n graph.Node) {
+			if n.Kind == kind {
+				if v, ok := feats[n.ID]; ok {
+					rows = append(rows, v)
+				}
+			}
+		})
+		if len(rows) == 0 {
+			continue
+		}
+		X := mat.FromRows(rows)
+		set.Scalers[kind] = ml.FitScaler(X)
+		aeCfg := cfg
+		aeCfg.Seed = cfg.Seed + int64(kind)
+		ae := NewAutoencoder(aeCfg)
+		ae.InitRandom(X.Cols)
+		set.AEs[kind] = ae
+	}
+	return set
+}
+
+// EncodeGraph produces the SAGE input matrix: one encoded row per node
+// (zero rows for events, ASNs and unfeaturised IOCs).
+func (s *EncoderSet) EncodeGraph(g *graph.Graph, feats map[graph.NodeID][]float64) *mat.Matrix {
+	enc := mat.New(g.NumNodes(), s.Config.Encoding)
+	// Batch per kind for cache-friendly encoding.
+	for kind, ae := range s.AEs {
+		var ids []graph.NodeID
+		var rows [][]float64
+		g.ForEachNode(func(n graph.Node) {
+			if n.Kind == kind {
+				if v, ok := feats[n.ID]; ok {
+					ids = append(ids, n.ID)
+					rows = append(rows, v)
+				}
+			}
+		})
+		if len(ids) == 0 {
+			continue
+		}
+		codes := ae.Encode(s.Scalers[kind].Transform(mat.FromRows(rows)))
+		for i, id := range ids {
+			copy(enc.Row(int(id)), codes.Row(i))
+		}
+	}
+	return enc
+}
+
+// BuildInput assembles the full Input for a graph: encoded features,
+// event flags and labels.
+func BuildInput(g *graph.Graph, feats map[graph.NodeID][]float64, set *EncoderSet, classes int) Input {
+	n := g.NumNodes()
+	in := Input{
+		Adj:     g.Adjacency(),
+		Enc:     set.EncodeGraph(g, feats),
+		IsEvent: make([]bool, n),
+		Labels:  make([]int, n),
+		Classes: classes,
+	}
+	for i := range in.Labels {
+		in.Labels[i] = -1
+	}
+	g.ForEachNode(func(nd graph.Node) {
+		if nd.Kind == graph.KindEvent {
+			in.IsEvent[nd.ID] = true
+			in.Labels[nd.ID] = nd.Label
+		}
+	})
+	return in
+}

@@ -1,0 +1,213 @@
+package gnn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"trail/internal/graph"
+	"trail/internal/mat"
+	"trail/internal/ml"
+)
+
+// GCN implements the graph convolutional network of the paper's Eq. 2
+// (Kipf & Welling):
+//
+//	H^l = σ( D^{-1/2} Ã D^{-1/2} H^{l-1} W^l + b^l ),  Ã = A + I.
+//
+// The paper notes GCNs "require the entire graph to be held in memory"
+// and opts for GraphSAGE; this implementation exists as the comparison
+// baseline for the SAGE-vs-GCN ablation bench. The propagation operator
+// is symmetric, which keeps backpropagation simple: the adjoint of S is
+// S itself.
+type GCN struct {
+	Config   Config
+	classes  int
+	labelEmb *linear
+	layers   []*linear
+}
+
+// NewGCN initialises a GCN with the same configuration shape as the SAGE
+// model (MaxNeighbors is ignored; GCN is always full-graph).
+func NewGCN(cfg Config, classes int) *GCN {
+	if cfg.Layers < 1 {
+		cfg.Layers = 2
+	}
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = 64
+	}
+	if cfg.Encoding <= 0 {
+		cfg.Encoding = 64
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 5e-3
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 30
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &GCN{Config: cfg, classes: classes}
+	g.labelEmb = newLinear(rng, classes, cfg.Encoding)
+	prev := cfg.Encoding
+	for l := 0; l < cfg.Layers; l++ {
+		out := cfg.Hidden
+		if l == cfg.Layers-1 {
+			out = classes
+		}
+		g.layers = append(g.layers, newLinear(rng, prev, out))
+		prev = out
+	}
+	return g
+}
+
+func (g *GCN) params() []*ml.Param {
+	ps := g.labelEmb.params()
+	for _, l := range g.layers {
+		ps = append(ps, l.params()...)
+	}
+	return ps
+}
+
+// gcnNorm precomputes (deg+1)^{-1/2} for the self-loop-augmented graph.
+func gcnNorm(adj [][]graph.NodeID) []float64 {
+	norm := make([]float64, len(adj))
+	for v := range adj {
+		norm[v] = 1 / math.Sqrt(float64(len(adj[v])+1))
+	}
+	return norm
+}
+
+// gcnProp applies the symmetric propagation S = D^{-1/2} Ã D^{-1/2}.
+func gcnProp(adj [][]graph.NodeID, norm []float64, h *mat.Matrix) *mat.Matrix {
+	out := mat.New(h.Rows, h.Cols)
+	for v := range adj {
+		dst := out.Row(v)
+		// Self loop.
+		mat.Axpy(norm[v]*norm[v], h.Row(v), dst)
+		for _, n := range adj[v] {
+			mat.Axpy(norm[v]*norm[int(n)], h.Row(int(n)), dst)
+		}
+	}
+	return out
+}
+
+// TrainGCN fits a GCN with the same label-visibility protocol as the SAGE
+// trainer.
+func TrainGCN(in Input, trainEvents []graph.NodeID, cfg Config) (*GCN, error) {
+	g := NewGCN(cfg, in.Classes)
+	if len(trainEvents) < 2 {
+		return nil, errors.New("gnn: need at least 2 training events")
+	}
+	if in.Enc.Cols != g.Config.Encoding {
+		return nil, errors.New("gnn: encoding width mismatch")
+	}
+	rng := rand.New(rand.NewSource(g.Config.Seed + 31))
+	opt := ml.NewAdam(g.Config.LR, g.params())
+	norm := gcnNorm(in.Adj)
+
+	order := make([]int, len(trainEvents))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < g.Config.Epochs; epoch++ {
+		mat.Shuffle(rng, order)
+		half := len(order) / 2
+		for pass := 0; pass < 2; pass++ {
+			visible := make(map[graph.NodeID]int, half)
+			var targets []graph.NodeID
+			for i, oi := range order {
+				ev := trainEvents[oi]
+				if (i < half) == (pass == 0) {
+					visible[ev] = in.Labels[ev]
+				} else {
+					targets = append(targets, ev)
+				}
+			}
+			if len(targets) == 0 {
+				continue
+			}
+			g.step(in, norm, visible, targets, opt)
+		}
+	}
+	return g, nil
+}
+
+type gcnActs struct {
+	inputs []*mat.Matrix // S·h fed into each linear layer
+	masks  []*mat.Matrix
+	out    *mat.Matrix
+}
+
+func (g *GCN) forward(in Input, norm []float64, visible map[graph.NodeID]int) *gcnActs {
+	h := in.Enc.Clone()
+	for ev, c := range visible {
+		if c >= 0 && c < g.classes {
+			row := h.Row(int(ev))
+			mat.Axpy(1, g.labelEmb.w.W.Row(c), row)
+			mat.Axpy(1, g.labelEmb.b.W.Row(0), row)
+		}
+	}
+	acts := &gcnActs{}
+	for li, layer := range g.layers {
+		prop := gcnProp(in.Adj, norm, h)
+		acts.inputs = append(acts.inputs, prop)
+		z := layer.forward(prop)
+		if li == len(g.layers)-1 {
+			acts.masks = append(acts.masks, nil)
+			acts.out = z
+			h = z
+			continue
+		}
+		a, mask := reluForward(z)
+		acts.masks = append(acts.masks, mask)
+		h = a
+	}
+	return acts
+}
+
+func (g *GCN) step(in Input, norm []float64, visible map[graph.NodeID]int, targets []graph.NodeID, opt *ml.Adam) {
+	acts := g.forward(in, norm, visible)
+	logits := acts.out
+
+	grad := mat.New(logits.Rows, logits.Cols)
+	inv := 1 / float64(len(targets))
+	probs := make([]float64, logits.Cols)
+	for _, ev := range targets {
+		mat.Softmax(probs, logits.Row(int(ev)))
+		dst := grad.Row(int(ev))
+		copy(dst, probs)
+		dst[in.Labels[ev]] -= 1
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+
+	gr := grad
+	for li := len(g.layers) - 1; li >= 0; li-- {
+		if li < len(g.layers)-1 {
+			gr = mat.Hadamard(gr, acts.masks[li])
+		}
+		gr = g.layers[li].backward(acts.inputs[li], gr)
+		// Adjoint of the symmetric propagation is the propagation itself.
+		gr = gcnProp(in.Adj, norm, gr)
+	}
+	for ev, c := range visible {
+		if c >= 0 && c < g.classes {
+			row := gr.Row(int(ev))
+			mat.Axpy(1, row, g.labelEmb.w.G.Row(c))
+			mat.Axpy(1, row, g.labelEmb.b.G.Row(0))
+		}
+	}
+	opt.Step()
+}
+
+// Predict returns the argmax attribution per query event.
+func (g *GCN) Predict(in Input, visible map[graph.NodeID]int, queries []graph.NodeID) []int {
+	norm := gcnNorm(in.Adj)
+	acts := g.forward(in, norm, visible)
+	out := make([]int, len(queries))
+	for i, q := range queries {
+		out[i] = mat.Argmax(acts.out.Row(int(q)))
+	}
+	return out
+}

@@ -1,0 +1,445 @@
+package gnn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"trail/internal/graph"
+	"trail/internal/mat"
+	"trail/internal/ml"
+)
+
+// Input is the full-graph tensor view the GraphSAGE model consumes.
+type Input struct {
+	// Adj is an adjacency snapshot (graph.Graph.Adjacency).
+	Adj [][]graph.NodeID
+	// Enc holds the autoencoded IOC features, one row per node
+	// (zero rows for events and ASNs, which carry no engineered
+	// features).
+	Enc *mat.Matrix
+	// IsEvent marks event nodes.
+	IsEvent []bool
+	// Labels carries the APT class per event node (-1 elsewhere). Which
+	// labels the model may *see* is decided per call via visibility sets,
+	// mirroring the paper's masking protocol.
+	Labels []int
+	// Classes is the number of APT classes.
+	Classes int
+}
+
+// Config configures the GraphSAGE classifier.
+type Config struct {
+	// Layers is the message-passing depth (2-4 in Table IV).
+	Layers int
+	// Hidden is the width of intermediate layers (paper: 512).
+	Hidden int
+	// Encoding is the node input width (output of the autoencoders).
+	Encoding int
+	LR       float64
+	Epochs   int
+	Seed     int64
+	// MaxNeighbors caps the neighbours sampled per node per epoch, the
+	// GraphSAGE sampling trick; 0 aggregates all neighbours.
+	MaxNeighbors int
+	// NoL2 disables the Eq. 4 post-aggregation L2 normalisation — an
+	// ablation knob for the design-choice benches.
+	NoL2 bool
+}
+
+// DefaultConfig returns laptop-scale defaults (paper values: Hidden 512,
+// LR 1e-4).
+func DefaultConfig(layers, classes int) Config {
+	return Config{
+		Layers:       layers,
+		Hidden:       64,
+		Encoding:     64,
+		LR:           5e-3,
+		Epochs:       40,
+		Seed:         1,
+		MaxNeighbors: 0,
+	}
+}
+
+// Model is a trained GraphSAGE attribution model. Each layer combines a
+// neighbour-mean path (Eq. 3) with a root/self path, as in the reference
+// GraphSAGE implementation the paper builds on (PyG SAGEConv computes
+// W1·x_v + W2·mean(x_n)); without the self path, features at odd hop
+// distances could never reach an event on the bipartite event-IOC edges.
+type Model struct {
+	Config   Config
+	classes  int
+	labelEmb *linear // one-hot label -> Encoding, for visible event labels
+	layers   []*linear
+	selfW    []*ml.Param
+}
+
+// NewModel initialises weights for the given input width and class count.
+func NewModel(cfg Config, classes int) *Model {
+	if cfg.Layers < 1 {
+		cfg.Layers = 2
+	}
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = 64
+	}
+	if cfg.Encoding <= 0 {
+		cfg.Encoding = 64
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 5e-3
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 30
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Config: cfg, classes: classes}
+	m.labelEmb = newLinear(rng, classes, cfg.Encoding)
+	prev := cfg.Encoding
+	for l := 0; l < cfg.Layers; l++ {
+		out := cfg.Hidden
+		if l == cfg.Layers-1 {
+			out = classes
+		}
+		m.layers = append(m.layers, newLinear(rng, prev, out))
+		m.selfW = append(m.selfW, &ml.Param{
+			W: mat.GlorotUniform(rng, prev, out),
+			G: mat.New(prev, out),
+		})
+		prev = out
+	}
+	return m
+}
+
+func (m *Model) params() []*ml.Param {
+	ps := m.labelEmb.params()
+	for i, l := range m.layers {
+		ps = append(ps, l.params()...)
+		ps = append(ps, m.selfW[i])
+	}
+	return ps
+}
+
+// Train fits the model: cross-entropy on the training events, with the
+// paper's label-visibility protocol. Each epoch the training events are
+// split in half: one half's labels are fed as input features (visible
+// neighbours), the other half is predicted and optimised. This lets the
+// model learn to exploit neighbour labels without learning to copy its
+// own.
+func Train(in Input, trainEvents []graph.NodeID, cfg Config) (*Model, error) {
+	m := NewModel(cfg, in.Classes)
+	if err := m.fit(in, trainEvents, m.Config.Epochs); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// CloneModel deep-copies the model (weights and config) so one trained
+// model can be frozen while a copy is fine-tuned — the Fig. 8 protocol.
+func (m *Model) CloneModel() *Model {
+	cp := &Model{Config: m.Config, classes: m.classes}
+	cloneLinear := func(l *linear) *linear {
+		return &linear{
+			w: &ml.Param{W: l.w.W.Clone(), G: mat.New(l.w.G.Rows, l.w.G.Cols)},
+			b: &ml.Param{W: l.b.W.Clone(), G: mat.New(l.b.G.Rows, l.b.G.Cols)},
+		}
+	}
+	cp.labelEmb = cloneLinear(m.labelEmb)
+	for i, l := range m.layers {
+		cp.layers = append(cp.layers, cloneLinear(l))
+		cp.selfW = append(cp.selfW, &ml.Param{
+			W: m.selfW[i].W.Clone(),
+			G: mat.New(m.selfW[i].G.Rows, m.selfW[i].G.Cols),
+		})
+	}
+	return cp
+}
+
+// FineTune continues training an existing model on (typically new) events
+// for a few epochs — the paper's monthly retraining loop (Fig. 8). It
+// runs at a reduced learning rate so a small month of events refines the
+// model instead of overwriting it.
+func (m *Model) FineTune(in Input, trainEvents []graph.NodeID, epochs int) error {
+	orig := m.Config.LR
+	m.Config.LR = orig * 0.3
+	err := m.fit(in, trainEvents, epochs)
+	m.Config.LR = orig
+	return err
+}
+
+func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int) error {
+	if len(trainEvents) < 2 {
+		return errors.New("gnn: need at least 2 training events")
+	}
+	if in.Enc.Cols != m.Config.Encoding {
+		return errors.New("gnn: encoding width mismatch")
+	}
+	rng := rand.New(rand.NewSource(m.Config.Seed + 17))
+	opt := ml.NewAdam(m.Config.LR, m.params())
+
+	order := make([]int, len(trainEvents))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < epochs; epoch++ {
+		mat.Shuffle(rng, order)
+		half := len(order) / 2
+		// Alternate which half is context vs target across epochs.
+		for pass := 0; pass < 2; pass++ {
+			visible := make(map[graph.NodeID]int, half)
+			var targets []graph.NodeID
+			for i, oi := range order {
+				ev := trainEvents[oi]
+				if (i < half) == (pass == 0) {
+					visible[ev] = in.Labels[ev]
+				} else {
+					targets = append(targets, ev)
+				}
+			}
+			if len(targets) == 0 {
+				continue
+			}
+			adj := in.Adj
+			if m.Config.MaxNeighbors > 0 {
+				adj = sampleAdj(rng, in.Adj, m.Config.MaxNeighbors)
+			}
+			m.step(in, adj, visible, targets, opt)
+		}
+	}
+	return nil
+}
+
+// step runs one full-graph forward/backward pass and an optimiser update.
+func (m *Model) step(in Input, adj [][]graph.NodeID, visible map[graph.NodeID]int, targets []graph.NodeID, opt *ml.Adam) {
+	acts := m.forward(in, adj, visible)
+	logits := acts.h[len(acts.h)-1]
+
+	// Cross-entropy gradient on target rows only.
+	grad := mat.New(logits.Rows, logits.Cols)
+	inv := 1 / float64(len(targets))
+	probs := make([]float64, logits.Cols)
+	for _, ev := range targets {
+		row := logits.Row(int(ev))
+		mat.Softmax(probs, row)
+		dst := grad.Row(int(ev))
+		copy(dst, probs)
+		dst[in.Labels[ev]] -= 1
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	m.backward(in, adj, acts, visible, grad)
+	opt.Step()
+}
+
+// activations caches the forward pass for backprop.
+type activations struct {
+	h0     *mat.Matrix   // input after label embedding
+	means  []*mat.Matrix // neighbour means per layer
+	preact []*mat.Matrix // linear outputs per layer (pre-ReLU, pre-norm)
+	masks  []*mat.Matrix // relu masks (nil for final layer)
+	norms  [][]float64   // L2 norms before normalisation (nil for final)
+	h      []*mat.Matrix // layer outputs; h[len-1] = logits
+}
+
+// forward computes all node representations; visible supplies event
+// labels injected as input features.
+func (m *Model) forward(in Input, adj [][]graph.NodeID, visible map[graph.NodeID]int) *activations {
+	n := len(adj)
+	acts := &activations{}
+	h0 := in.Enc.Clone()
+	for ev, c := range visible {
+		if c >= 0 && c < m.classes {
+			// One-hot label through the embedding layer = row c of the
+			// weight matrix plus bias.
+			row := h0.Row(int(ev))
+			mat.Axpy(1, m.labelEmb.w.W.Row(c), row)
+			mat.Axpy(1, m.labelEmb.b.W.Row(0), row)
+		}
+	}
+	acts.h0 = h0
+
+	cur := h0
+	for li, layer := range m.layers {
+		mean := neighborMean(adj, cur)
+		z := layer.forward(mean)
+		mat.AddInPlace(z, mat.MatMul(cur, m.selfW[li].W))
+		acts.means = append(acts.means, mean)
+		acts.preact = append(acts.preact, z)
+		if li == len(m.layers)-1 {
+			acts.masks = append(acts.masks, nil)
+			acts.norms = append(acts.norms, nil)
+			acts.h = append(acts.h, z)
+			cur = z
+			continue
+		}
+		a, mask := reluForward(z)
+		var norms []float64
+		if !m.Config.NoL2 {
+			norms = make([]float64, n)
+			for i := 0; i < n; i++ {
+				row := a.Row(i)
+				nm := mat.Norm2(row)
+				norms[i] = nm
+				if nm > 0 {
+					invN := 1 / nm
+					for j := range row {
+						row[j] *= invN
+					}
+				}
+			}
+		}
+		acts.masks = append(acts.masks, mask)
+		acts.norms = append(acts.norms, norms)
+		acts.h = append(acts.h, a)
+		cur = a
+	}
+	return acts
+}
+
+// backward propagates grad (w.r.t. the logits) through the network,
+// accumulating parameter gradients.
+func (m *Model) backward(in Input, adj [][]graph.NodeID, acts *activations, visible map[graph.NodeID]int, grad *mat.Matrix) {
+	layerIn := func(li int) *mat.Matrix {
+		if li == 0 {
+			return acts.h0
+		}
+		return acts.h[li-1]
+	}
+	g := grad
+	for li := len(m.layers) - 1; li >= 0; li-- {
+		if li < len(m.layers)-1 {
+			if norms := acts.norms[li]; norms != nil {
+				// Through L2 row normalisation: y = x/||x||;
+				// dx = (g - (g.y) y)/||x||, where y is the stored output.
+				y := acts.h[li]
+				out := mat.New(g.Rows, g.Cols)
+				for i := 0; i < g.Rows; i++ {
+					if norms[i] == 0 {
+						continue
+					}
+					gr, yr, or := g.Row(i), y.Row(i), out.Row(i)
+					dot := mat.Dot(gr, yr)
+					invN := 1 / norms[i]
+					for j := range or {
+						or[j] = (gr[j] - dot*yr[j]) * invN
+					}
+				}
+				g = out
+			}
+			g = mat.Hadamard(g, acts.masks[li])
+		}
+		// Self path: accumulate its weight gradient and input gradient.
+		in := layerIn(li)
+		mat.AddInPlace(m.selfW[li].G, mat.MatMulTransA(in, g))
+		gSelf := mat.MatMulTransB(g, m.selfW[li].W)
+		// Aggregation path.
+		gMean := m.layers[li].backward(acts.means[li], g)
+		g = mat.AddInPlace(neighborMeanTranspose(adj, gMean), gSelf)
+	}
+	// Gradient into the label embedding via visible event rows of h0.
+	for ev, c := range visible {
+		if c >= 0 && c < m.classes {
+			row := g.Row(int(ev))
+			mat.Axpy(1, row, m.labelEmb.w.G.Row(c))
+			mat.Axpy(1, row, m.labelEmb.b.G.Row(0))
+		}
+	}
+}
+
+// neighborMean computes Eq. 3's aggregation: out[v] = mean of h[n] over
+// neighbours n of v (zero for isolated nodes).
+func neighborMean(adj [][]graph.NodeID, h *mat.Matrix) *mat.Matrix {
+	out := mat.New(h.Rows, h.Cols)
+	for v := range adj {
+		if len(adj[v]) == 0 {
+			continue
+		}
+		dst := out.Row(v)
+		for _, n := range adj[v] {
+			mat.Axpy(1, h.Row(int(n)), dst)
+		}
+		inv := 1 / float64(len(adj[v]))
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return out
+}
+
+// neighborMeanTranspose back-propagates through neighborMean:
+// out[n] += g[v]/deg(v) for every edge (v, n).
+func neighborMeanTranspose(adj [][]graph.NodeID, g *mat.Matrix) *mat.Matrix {
+	out := mat.New(g.Rows, g.Cols)
+	for v := range adj {
+		if len(adj[v]) == 0 {
+			continue
+		}
+		inv := 1 / float64(len(adj[v]))
+		src := g.Row(v)
+		for _, n := range adj[v] {
+			mat.Axpy(inv, src, out.Row(int(n)))
+		}
+	}
+	return out
+}
+
+// sampleAdj caps each node's neighbour list at k by sampling without
+// replacement.
+func sampleAdj(rng *rand.Rand, adj [][]graph.NodeID, k int) [][]graph.NodeID {
+	out := make([][]graph.NodeID, len(adj))
+	for v, ns := range adj {
+		if len(ns) <= k {
+			out[v] = ns
+			continue
+		}
+		picked := make([]graph.NodeID, k)
+		// Partial Fisher-Yates over a copy.
+		tmp := append([]graph.NodeID(nil), ns...)
+		for i := 0; i < k; i++ {
+			j := i + rng.Intn(len(tmp)-i)
+			tmp[i], tmp[j] = tmp[j], tmp[i]
+			picked[i] = tmp[i]
+		}
+		out[v] = picked
+	}
+	return out
+}
+
+// PredictProba returns attribution distributions for the query events,
+// with the given event labels visible as input features.
+func (m *Model) PredictProba(in Input, visible map[graph.NodeID]int, queries []graph.NodeID) *mat.Matrix {
+	acts := m.forward(in, in.Adj, visible)
+	logits := acts.h[len(acts.h)-1]
+	out := mat.New(len(queries), m.classes)
+	for i, q := range queries {
+		mat.Softmax(out.Row(i), logits.Row(int(q)))
+	}
+	return out
+}
+
+// Predict returns the argmax attribution per query event.
+func (m *Model) Predict(in Input, visible map[graph.NodeID]int, queries []graph.NodeID) []int {
+	probs := m.PredictProba(in, visible, queries)
+	out := make([]int, len(queries))
+	for i := range out {
+		out[i] = mat.Argmax(probs.Row(i))
+	}
+	return out
+}
+
+// Confidence returns the max-probability score per query (used by the
+// case study's thresholding discussion).
+func (m *Model) Confidence(in Input, visible map[graph.NodeID]int, queries []graph.NodeID) []float64 {
+	probs := m.PredictProba(in, visible, queries)
+	out := make([]float64, len(queries))
+	for i := range out {
+		best := math.Inf(-1)
+		for _, v := range probs.Row(i) {
+			if v > best {
+				best = v
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

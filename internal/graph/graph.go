@@ -1,0 +1,369 @@
+// Package graph implements the embedded property-graph store that backs
+// the TRAIL knowledge graph. It plays the role neo4j plays in the paper:
+// typed nodes addressed by (kind, key), typed edges, adjacency indexes,
+// and the traversal primitives (BFS, ego-nets, connected components,
+// diameter estimation) that the analysis layers need.
+//
+// The store is an in-memory adjacency-list graph optimised for the TKG
+// workload: build once (or incrementally merge event subgraphs), then
+// traverse many times. All mutating and reading methods are safe for
+// concurrent use; bulk analytics take a consistent snapshot of the
+// adjacency under the read lock.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a node within one Graph. IDs are dense: they index
+// internal slices and are assigned in insertion order, which makes them
+// directly usable as matrix row indices by the ML layers.
+type NodeID int32
+
+// NodeKind enumerates the node types of the TKG schema (Fig. 2 of the
+// paper).
+type NodeKind uint8
+
+// Node kinds, in the order they appear in the paper's Table II.
+const (
+	KindEvent NodeKind = iota
+	KindIP
+	KindURL
+	KindDomain
+	KindASN
+	numKinds
+)
+
+// String returns the human-readable kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case KindEvent:
+		return "Event"
+	case KindIP:
+		return "IP"
+	case KindURL:
+		return "URL"
+	case KindDomain:
+		return "Domain"
+	case KindASN:
+		return "ASN"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", uint8(k))
+	}
+}
+
+// Kinds returns all node kinds in schema order.
+func Kinds() []NodeKind {
+	return []NodeKind{KindEvent, KindIP, KindURL, KindDomain, KindASN}
+}
+
+// EdgeType enumerates the relation types of Table I.
+type EdgeType uint8
+
+// Edge types from Table I of the paper.
+const (
+	EdgeInReport   EdgeType = iota // Event -> IP | Domain | URL
+	EdgeARecord                    // IP -> Domain (passive DNS A record)
+	EdgeInGroup                    // IP -> ASN
+	EdgeResolvesTo                 // URL | Domain -> IP
+	EdgeHostedOn                   // URL -> Domain
+	numEdgeTypes
+)
+
+// String returns the schema name of the edge type.
+func (t EdgeType) String() string {
+	switch t {
+	case EdgeInReport:
+		return "InReport"
+	case EdgeARecord:
+		return "ARecord"
+	case EdgeInGroup:
+		return "InGroup"
+	case EdgeResolvesTo:
+		return "ResolvesTo"
+	case EdgeHostedOn:
+		return "HostedOn"
+	default:
+		return fmt.Sprintf("EdgeType(%d)", uint8(t))
+	}
+}
+
+// EdgeTypes returns all edge types in schema order.
+func EdgeTypes() []EdgeType {
+	return []EdgeType{EdgeInReport, EdgeARecord, EdgeInGroup, EdgeResolvesTo, EdgeHostedOn}
+}
+
+// Node is the stored record for a graph node.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	// Key is the node's natural identifier: the IOC string (IP address,
+	// URL, domain, "AS1234") or the event's report ID.
+	Key string
+	// Label is the APT class index for event nodes, or -1. IOC nodes that
+	// appear in exactly one APT's events may also carry that label for the
+	// per-IOC experiments (Table III); multi-labelled IOCs keep -1.
+	Label int
+	// FirstOrder records whether the node was listed directly in at least
+	// one incident report (as opposed to being discovered only during
+	// enrichment).
+	FirstOrder bool
+	// EventCount is the number of distinct events this IOC appeared in
+	// (the "reuse" statistic of Table II); 0 for event and ASN nodes.
+	EventCount int
+	// Month is the (year*12+month) bucket the node first appeared in;
+	// used by the longitudinal experiments. Zero means unknown.
+	Month int
+}
+
+// HalfEdge is one direction of a stored edge.
+type HalfEdge struct {
+	To   NodeID
+	Type EdgeType
+}
+
+// Graph is the property-graph store. The zero value is not usable; call
+// New.
+type Graph struct {
+	mu    sync.RWMutex
+	nodes []Node
+	// adj holds the undirected adjacency: every logical edge (u,v,t)
+	// appears as a HalfEdge in adj[u] and in adj[v]. Traversal in the TKG
+	// is always undirected (label propagation and GraphSAGE both treat the
+	// graph symmetrically), so storing both directions keeps hot paths
+	// simple.
+	adj [][]HalfEdge
+	// out marks, for each logical edge, its forward direction: the half
+	// edge stored in adj[u] with out bit set means the schema direction is
+	// u->v. Encoded in parallel with adj.
+	out [][]bool
+	// index maps (kind, key) to NodeID.
+	index map[nodeRef]NodeID
+	// edgeCount is the number of logical (undirected) edges.
+	edgeCount int
+	// kindCount caches node counts per kind.
+	kindCount [numKinds]int
+	// typeCount caches edge counts per type.
+	typeCount [numEdgeTypes]int
+}
+
+type nodeRef struct {
+	kind NodeKind
+	key  string
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{index: make(map[nodeRef]NodeID)}
+}
+
+// NumNodes returns the number of nodes in the graph.
+func (g *Graph) NumNodes() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// NumEdges returns the number of logical (undirected) edges.
+func (g *Graph) NumEdges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.edgeCount
+}
+
+// KindCount returns the number of nodes of kind k.
+func (g *Graph) KindCount(k NodeKind) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.kindCount[k]
+}
+
+// EdgeTypeCount returns the number of edges of type t.
+func (g *Graph) EdgeTypeCount(t EdgeType) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.typeCount[t]
+}
+
+// Upsert returns the ID of the node with the given kind and key, creating
+// it (with Label -1) if absent. The second result reports whether the node
+// was created by this call.
+func (g *Graph) Upsert(kind NodeKind, key string) (NodeID, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.upsertLocked(kind, key)
+}
+
+func (g *Graph) upsertLocked(kind NodeKind, key string) (NodeID, bool) {
+	ref := nodeRef{kind, key}
+	if id, ok := g.index[ref]; ok {
+		return id, false
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Kind: kind, Key: key, Label: -1})
+	g.adj = append(g.adj, nil)
+	g.out = append(g.out, nil)
+	g.index[ref] = id
+	g.kindCount[kind]++
+	return id, true
+}
+
+// Lookup returns the ID of the node with the given kind and key, if
+// present.
+func (g *Graph) Lookup(kind NodeKind, key string) (NodeID, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	id, ok := g.index[nodeRef{kind, key}]
+	return id, ok
+}
+
+// Node returns a copy of the node record for id. It panics if id is out of
+// range.
+func (g *Graph) Node(id NodeID) Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.nodes[id]
+}
+
+// UpdateNode applies f to the stored node record for id under the write
+// lock. Kind and Key must not be changed by f; ID is restored afterwards.
+func (g *Graph) UpdateNode(id NodeID, f func(*Node)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := &g.nodes[id]
+	f(n)
+	n.ID = id
+}
+
+// AddEdge inserts an undirected edge u-(t)->v if it does not already
+// exist; the stored direction is u->v. Self-loops are rejected. It reports
+// whether a new edge was inserted.
+func (g *Graph) AddEdge(u, v NodeID, t EdgeType) bool {
+	if u == v {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Duplicate check: scan the smaller adjacency list.
+	a, b := u, v
+	if len(g.adj[b]) < len(g.adj[a]) {
+		a, b = b, a
+	}
+	for _, he := range g.adj[a] {
+		other := he.To
+		if he.Type == t && ((a == u && other == v) || (a == v && other == u)) {
+			return false
+		}
+	}
+	g.adj[u] = append(g.adj[u], HalfEdge{To: v, Type: t})
+	g.out[u] = append(g.out[u], true)
+	g.adj[v] = append(g.adj[v], HalfEdge{To: u, Type: t})
+	g.out[v] = append(g.out[v], false)
+	g.edgeCount++
+	g.typeCount[t]++
+	return true
+}
+
+// Degree returns the undirected degree of id.
+func (g *Graph) Degree(id NodeID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.adj[id])
+}
+
+// Neighbors returns the IDs adjacent to id (both directions), in storage
+// order. The returned slice is freshly allocated.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]NodeID, len(g.adj[id]))
+	for i, he := range g.adj[id] {
+		out[i] = he.To
+	}
+	return out
+}
+
+// NeighborEdges calls f for every half edge incident to id. fwd reports
+// whether the schema direction is id->to. Iteration stops early if f
+// returns false.
+func (g *Graph) NeighborEdges(id NodeID, f func(to NodeID, t EdgeType, fwd bool) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for i, he := range g.adj[id] {
+		if !f(he.To, he.Type, g.out[id][i]) {
+			return
+		}
+	}
+}
+
+// NodesOfKind returns the IDs of all nodes of kind k, in ID order.
+func (g *Graph) NodesOfKind(k NodeKind) []NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]NodeID, 0, g.kindCount[k])
+	for i := range g.nodes {
+		if g.nodes[i].Kind == k {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// ForEachNode calls f with a copy of every node record in ID order.
+func (g *Graph) ForEachNode(f func(Node)) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for i := range g.nodes {
+		f(g.nodes[i])
+	}
+}
+
+// AvgDegreeByKind returns the mean undirected degree for each node kind.
+func (g *Graph) AvgDegreeByKind() map[NodeKind]float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	sum := make(map[NodeKind]int)
+	for i := range g.nodes {
+		sum[g.nodes[i].Kind] += len(g.adj[i])
+	}
+	out := make(map[NodeKind]float64, len(sum))
+	for k, s := range sum {
+		if g.kindCount[k] > 0 {
+			out[k] = float64(s) / float64(g.kindCount[k])
+		}
+	}
+	return out
+}
+
+// Adjacency returns a frozen copy of the adjacency lists, suitable for
+// the analytics code that wants lock-free repeated traversal. The outer
+// slice is indexed by NodeID.
+func (g *Graph) Adjacency() [][]NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([][]NodeID, len(g.adj))
+	for i, hes := range g.adj {
+		row := make([]NodeID, len(hes))
+		for j, he := range hes {
+			row[j] = he.To
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// SortedNeighborKeys returns the keys of id's neighbours sorted
+// lexicographically; useful for deterministic test assertions and debug
+// rendering.
+func (g *Graph) SortedNeighborKeys(id NodeID) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	keys := make([]string, len(g.adj[id]))
+	for i, he := range g.adj[id] {
+		keys[i] = g.nodes[he.To].Key
+	}
+	sort.Strings(keys)
+	return keys
+}

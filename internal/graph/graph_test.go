@@ -1,0 +1,289 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func buildSmall(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	// event - ip - domain chain plus an ASN.
+	ev, _ := g.Upsert(KindEvent, "ev1")
+	ip, _ := g.Upsert(KindIP, "1.2.3.4")
+	dom, _ := g.Upsert(KindDomain, "evil.com")
+	asn, _ := g.Upsert(KindASN, "AS1")
+	g.AddEdge(ev, ip, EdgeInReport)
+	g.AddEdge(ip, dom, EdgeARecord)
+	g.AddEdge(ip, asn, EdgeInGroup)
+	return g
+}
+
+func TestUpsertIdempotent(t *testing.T) {
+	g := New()
+	a, created := g.Upsert(KindIP, "1.1.1.1")
+	if !created {
+		t.Fatal("first upsert should create")
+	}
+	b, created := g.Upsert(KindIP, "1.1.1.1")
+	if created || a != b {
+		t.Fatal("second upsert should return existing node")
+	}
+	// Same key, different kind: distinct node.
+	c, created := g.Upsert(KindDomain, "1.1.1.1")
+	if !created || c == a {
+		t.Fatal("kind should be part of the identity")
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("nodes %d", g.NumNodes())
+	}
+}
+
+func TestAddEdgeDeduplicatesAndCounts(t *testing.T) {
+	g := buildSmall(t)
+	before := g.NumEdges()
+	ev, _ := g.Lookup(KindEvent, "ev1")
+	ip, _ := g.Lookup(KindIP, "1.2.3.4")
+	if g.AddEdge(ev, ip, EdgeInReport) {
+		t.Fatal("duplicate edge inserted")
+	}
+	if g.AddEdge(ip, ev, EdgeInReport) {
+		t.Fatal("reversed duplicate inserted")
+	}
+	if g.AddEdge(ev, ev, EdgeInReport) {
+		t.Fatal("self-loop inserted")
+	}
+	if g.NumEdges() != before {
+		t.Fatalf("edge count changed: %d -> %d", before, g.NumEdges())
+	}
+	if g.EdgeTypeCount(EdgeInReport) != 1 {
+		t.Fatalf("type count %d", g.EdgeTypeCount(EdgeInReport))
+	}
+}
+
+func TestNeighborEdgesDirection(t *testing.T) {
+	g := buildSmall(t)
+	ip, _ := g.Lookup(KindIP, "1.2.3.4")
+	fwd, back := 0, 0
+	g.NeighborEdges(ip, func(_ NodeID, _ EdgeType, isFwd bool) bool {
+		if isFwd {
+			fwd++
+		} else {
+			back++
+		}
+		return true
+	})
+	// ip->domain and ip->asn stored forward; event->ip stored backward.
+	if fwd != 2 || back != 1 {
+		t.Fatalf("fwd=%d back=%d", fwd, back)
+	}
+}
+
+func TestBFSAndComponents(t *testing.T) {
+	g := buildSmall(t)
+	g.Upsert(KindDomain, "island.org") // isolated
+	adj := g.Adjacency()
+	ev, _ := g.Lookup(KindEvent, "ev1")
+	dist := BFSDistances(adj, ev, -1)
+	dom, _ := g.Lookup(KindDomain, "evil.com")
+	if dist[dom] != 2 {
+		t.Fatalf("distance to domain %d", dist[dom])
+	}
+	iso, _ := g.Lookup(KindDomain, "island.org")
+	if dist[iso] != -1 {
+		t.Fatal("isolated node reachable")
+	}
+	_, sizes := ConnectedComponents(adj)
+	if len(sizes) != 2 {
+		t.Fatalf("components %v", sizes)
+	}
+	members, size := LargestComponent(adj)
+	if size != 4 || len(members) != 4 {
+		t.Fatalf("largest %d", size)
+	}
+}
+
+func TestBFSDepthLimit(t *testing.T) {
+	g := buildSmall(t)
+	adj := g.Adjacency()
+	ev, _ := g.Lookup(KindEvent, "ev1")
+	hood := KHopNeighborhood(adj, ev, 1)
+	if len(hood) != 2 { // ev + ip
+		t.Fatalf("1-hop neighborhood %v", hood)
+	}
+}
+
+func TestEgoNet(t *testing.T) {
+	g := buildSmall(t)
+	adj := g.Adjacency()
+	ev, _ := g.Lookup(KindEvent, "ev1")
+	net := g.Ego(adj, ev, 2)
+	if len(net.Nodes) != 4 {
+		t.Fatalf("ego nodes %d", len(net.Nodes))
+	}
+	if len(net.Edges) != 3 {
+		t.Fatalf("ego edges %d", len(net.Edges))
+	}
+	if net.Dist[ev] != 0 {
+		t.Fatal("ego distance")
+	}
+}
+
+func TestPseudoDiameterOnPath(t *testing.T) {
+	g := New()
+	const n = 10
+	var prev NodeID
+	for i := 0; i < n; i++ {
+		id, _ := g.Upsert(KindIP, fmt.Sprintf("10.0.0.%d", i))
+		if i > 0 {
+			g.AddEdge(prev, id, EdgeARecord)
+		}
+		prev = id
+	}
+	adj := g.Adjacency()
+	if d := PseudoDiameter(adj, 3, 4); d != n-1 {
+		t.Fatalf("path diameter %d, want %d", d, n-1)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := New()
+	for i := 0; i < 50; i++ {
+		g.Upsert(NodeKind(rng.Intn(5)), fmt.Sprintf("node-%d", i))
+	}
+	for i := 0; i < 120; i++ {
+		u := NodeID(rng.Intn(50))
+		v := NodeID(rng.Intn(50))
+		g.AddEdge(u, v, EdgeType(rng.Intn(5)))
+	}
+	g.UpdateNode(7, func(n *Node) { n.Label = 3; n.FirstOrder = true; n.EventCount = 2 })
+
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2 := New()
+	if _, err := g2.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	n := g2.Node(7)
+	if n.Label != 3 || !n.FirstOrder || n.EventCount != 2 {
+		t.Fatalf("node metadata lost: %+v", n)
+	}
+	for id := 0; id < g.NumNodes(); id++ {
+		a := g.SortedNeighborKeys(NodeID(id))
+		b := g2.SortedNeighborKeys(NodeID(id))
+		if len(a) != len(b) {
+			t.Fatalf("node %d adjacency mismatch", id)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d neighbor %d: %s vs %s", id, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := buildSmall(t)
+	path := t.TempDir() + "/g.gob"
+	if err := g.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() {
+		t.Fatal("load mismatch")
+	}
+	if _, err := Load(t.TempDir() + "/missing.gob"); err == nil {
+		t.Fatal("loading missing file should fail")
+	}
+}
+
+func TestConcurrentUpsertAndRead(t *testing.T) {
+	g := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id, _ := g.Upsert(KindIP, fmt.Sprintf("ip-%d", i%50))
+				other, _ := g.Upsert(KindDomain, fmt.Sprintf("d%d.com", i%40))
+				g.AddEdge(id, other, EdgeARecord)
+				g.Degree(id)
+				g.Neighbors(other)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.KindCount(KindIP) != 50 || g.KindCount(KindDomain) != 40 {
+		t.Fatalf("counts %d/%d", g.KindCount(KindIP), g.KindCount(KindDomain))
+	}
+}
+
+func TestInducedAdjacency(t *testing.T) {
+	g := buildSmall(t)
+	adj := g.Adjacency()
+	ip, _ := g.Lookup(KindIP, "1.2.3.4")
+	sub := InducedAdjacency(adj, func(id NodeID) bool { return id != ip })
+	for _, row := range sub {
+		for _, v := range row {
+			if v == ip {
+				t.Fatal("excluded node still referenced")
+			}
+		}
+	}
+	if len(sub[ip]) != 0 {
+		t.Fatal("excluded node has adjacency")
+	}
+}
+
+func TestCountWithinHops(t *testing.T) {
+	g := buildSmall(t)
+	ev2, _ := g.Upsert(KindEvent, "ev2")
+	ip, _ := g.Lookup(KindIP, "1.2.3.4")
+	g.AddEdge(ev2, ip, EdgeInReport)
+	adj := g.Adjacency()
+	ev1, _ := g.Lookup(KindEvent, "ev1")
+	if got := CountWithinHops(adj, []NodeID{ev1, ev2}, 2); got != 2 {
+		t.Fatalf("within 2 hops: %d", got)
+	}
+	if got := CountWithinHops(adj, []NodeID{ev1, ev2}, 1); got != 0 {
+		t.Fatalf("within 1 hop: %d", got)
+	}
+}
+
+func TestComponentSizesSumToNodes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			g.Upsert(KindIP, fmt.Sprintf("n%d", i))
+		}
+		for e := 0; e < rng.Intn(60); e++ {
+			g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), EdgeARecord)
+		}
+		_, sizes := ConnectedComponents(g.Adjacency())
+		total := 0
+		for _, s := range sizes {
+			total += s
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package graph
+
+// Meta-path traversal: BFS restricted to a set of edge types. The TKG
+// schema gives edge types semantics (InReport = co-occurrence, ARecord /
+// ResolvesTo = hosting, InGroup = ASN membership), so analyses often want
+// to walk only part of the schema — e.g. "events related purely through
+// direct IOC co-occurrence" is a BFS over InReport edges only, which is
+// exactly what the paper's LP 2L measures.
+
+// EdgeTypeSet is a bitmask over EdgeType values.
+type EdgeTypeSet uint8
+
+// NewEdgeTypeSet builds a set from the given types.
+func NewEdgeTypeSet(types ...EdgeType) EdgeTypeSet {
+	var s EdgeTypeSet
+	for _, t := range types {
+		s |= 1 << t
+	}
+	return s
+}
+
+// Has reports whether t is in the set.
+func (s EdgeTypeSet) Has(t EdgeType) bool { return s&(1<<t) != 0 }
+
+// AllEdgeTypes is the full schema.
+func AllEdgeTypes() EdgeTypeSet {
+	return NewEdgeTypeSet(EdgeInReport, EdgeARecord, EdgeInGroup, EdgeResolvesTo, EdgeHostedOn)
+}
+
+// FilteredAdjacency returns an adjacency snapshot containing only edges
+// whose type is in the set. Shape matches Graph.Adjacency.
+func (g *Graph) FilteredAdjacency(types EdgeTypeSet) [][]NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([][]NodeID, len(g.adj))
+	for u, hes := range g.adj {
+		var row []NodeID
+		for _, he := range hes {
+			if types.Has(he.Type) {
+				row = append(row, he.To)
+			}
+		}
+		out[u] = row
+	}
+	return out
+}
+
+// MetaPathBFS returns hop distances from src walking only edges whose
+// types appear in the pattern, in order: hop h may only use edge types in
+// pattern[h-1]. A nil pattern entry set (zero value) blocks expansion at
+// that depth. Distances are -1 for unreached nodes.
+//
+// Example: pattern {InReport}, {InReport} finds the events and IOCs of
+// the classic 2-hop co-occurrence neighbourhood; pattern {InReport},
+// {ResolvesTo|ARecord}, {InReport} finds events connected through one
+// hosting hop.
+func (g *Graph) MetaPathBFS(src NodeID, pattern []EdgeTypeSet) []int32 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	dist := make([]int32, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	if int(src) >= len(g.adj) {
+		return dist
+	}
+	dist[src] = 0
+	frontier := []NodeID{src}
+	for depth := 0; depth < len(pattern) && len(frontier) > 0; depth++ {
+		allowed := pattern[depth]
+		var next []NodeID
+		for _, u := range frontier {
+			for _, he := range g.adj[u] {
+				if !allowed.Has(he.Type) {
+					continue
+				}
+				if dist[he.To] < 0 {
+					dist[he.To] = int32(depth + 1)
+					next = append(next, he.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// CoOccurringEvents returns the events sharing at least one directly
+// reported IOC with the given event (the paper's "direct resource reuse"
+// relation), with the number of shared IOCs per event.
+func (g *Graph) CoOccurringEvents(event NodeID) map[NodeID]int {
+	out := make(map[NodeID]int)
+	g.NeighborEdges(event, func(iocNode NodeID, t EdgeType, _ bool) bool {
+		if t != EdgeInReport {
+			return true
+		}
+		g.NeighborEdges(iocNode, func(other NodeID, t2 EdgeType, _ bool) bool {
+			if t2 == EdgeInReport && other != event {
+				out[other]++
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}

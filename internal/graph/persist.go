@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// snapshot is the gob-serialisable form of a Graph. Edges are stored once
+// in their forward (schema) direction.
+type snapshot struct {
+	Version int
+	Nodes   []Node
+	EdgeU   []NodeID
+	EdgeV   []NodeID
+	EdgeT   []EdgeType
+}
+
+const snapshotVersion = 1
+
+// WriteTo serialises the graph to w in a compact gob snapshot. It
+// implements the single-writer persistence model: the TKG is built (or
+// updated) and then checkpointed atomically by the caller.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	g.mu.RLock()
+	snap := snapshot{
+		Version: snapshotVersion,
+		Nodes:   append([]Node(nil), g.nodes...),
+		EdgeU:   make([]NodeID, 0, g.edgeCount),
+		EdgeV:   make([]NodeID, 0, g.edgeCount),
+		EdgeT:   make([]EdgeType, 0, g.edgeCount),
+	}
+	for u := range g.adj {
+		for i, he := range g.adj[u] {
+			if g.out[u][i] { // forward direction only, so each edge once
+				snap.EdgeU = append(snap.EdgeU, NodeID(u))
+				snap.EdgeV = append(snap.EdgeV, he.To)
+				snap.EdgeT = append(snap.EdgeT, he.Type)
+			}
+		}
+	}
+	g.mu.RUnlock()
+
+	cw := &countingWriter{w: w}
+	if err := gob.NewEncoder(cw).Encode(&snap); err != nil {
+		return cw.n, fmt.Errorf("graph: encode snapshot: %w", err)
+	}
+	return cw.n, nil
+}
+
+// ReadFrom replaces the contents of g with a snapshot previously written
+// by WriteTo.
+func (g *Graph) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countingReader{r: r}
+	var snap snapshot
+	if err := gob.NewDecoder(cr).Decode(&snap); err != nil {
+		return cr.n, fmt.Errorf("graph: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return cr.n, fmt.Errorf("graph: unsupported snapshot version %d", snap.Version)
+	}
+	if len(snap.EdgeU) != len(snap.EdgeV) || len(snap.EdgeU) != len(snap.EdgeT) {
+		return cr.n, fmt.Errorf("graph: corrupt snapshot: ragged edge arrays")
+	}
+
+	fresh := New()
+	fresh.nodes = snap.Nodes
+	fresh.adj = make([][]HalfEdge, len(snap.Nodes))
+	fresh.out = make([][]bool, len(snap.Nodes))
+	for i := range fresh.nodes {
+		n := &fresh.nodes[i]
+		if n.ID != NodeID(i) {
+			return cr.n, fmt.Errorf("graph: corrupt snapshot: node %d has ID %d", i, n.ID)
+		}
+		if n.Kind >= numKinds {
+			return cr.n, fmt.Errorf("graph: corrupt snapshot: node %d has kind %d", i, n.Kind)
+		}
+		fresh.index[nodeRef{n.Kind, n.Key}] = n.ID
+		fresh.kindCount[n.Kind]++
+	}
+	for i := range snap.EdgeU {
+		u, v, t := snap.EdgeU[i], snap.EdgeV[i], snap.EdgeT[i]
+		if int(u) >= len(fresh.nodes) || int(v) >= len(fresh.nodes) || t >= numEdgeTypes {
+			return cr.n, fmt.Errorf("graph: corrupt snapshot: edge %d out of range", i)
+		}
+		fresh.adj[u] = append(fresh.adj[u], HalfEdge{To: v, Type: t})
+		fresh.out[u] = append(fresh.out[u], true)
+		fresh.adj[v] = append(fresh.adj[v], HalfEdge{To: u, Type: t})
+		fresh.out[v] = append(fresh.out[v], false)
+		fresh.edgeCount++
+		fresh.typeCount[t]++
+	}
+
+	g.mu.Lock()
+	g.nodes = fresh.nodes
+	g.adj = fresh.adj
+	g.out = fresh.out
+	g.index = fresh.index
+	g.edgeCount = fresh.edgeCount
+	g.kindCount = fresh.kindCount
+	g.typeCount = fresh.typeCount
+	g.mu.Unlock()
+	return cr.n, nil
+}
+
+// Save writes the graph snapshot to path atomically (write to a temp file
+// in the same directory, fsync, rename).
+func (g *Graph) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("graph: save: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := g.WriteTo(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("graph: save: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("graph: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("graph: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("graph: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot from path into a fresh graph.
+func Load(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: load: %w", err)
+	}
+	defer f.Close()
+	g := New()
+	if _, err := g.ReadFrom(bufio.NewReader(f)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,199 @@
+package ioc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRefang(t *testing.T) {
+	cases := map[string]string{
+		"hxxp://evil[.]com/a.php":   "http://evil.com/a.php",
+		"hxxps://bad[.]org":         "https://bad.org",
+		"1.2.3[.]4":                 "1.2.3.4",
+		"plain.example.com":         "plain.example.com",
+		"http://already.clean/x":    "http://already.clean/x",
+		"user[at]mail(.)domain.com": "user@mail.domain.com",
+	}
+	for in, want := range cases {
+		if got := Refang(in); got != want {
+			t.Errorf("Refang(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDefangRefangRoundTrip(t *testing.T) {
+	inputs := []string{
+		"http://evil.com/a.php",
+		"https://sub.bad.org:8080/p?q=1",
+		"1.2.3.4",
+		"some.domain.net",
+	}
+	for _, in := range inputs {
+		d := Defang(in)
+		if d == in {
+			t.Errorf("Defang(%q) did not change the string", in)
+		}
+		if strings.Contains(d, "http://") || strings.Contains(d, "https://") {
+			t.Errorf("Defang(%q) left a live scheme: %q", in, d)
+		}
+		if got := Refang(d); got != in {
+			t.Errorf("Refang(Defang(%q)) = %q", in, got)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		in  string
+		typ Type
+		val string
+		ok  bool
+	}{
+		{"1.2.3.4", TypeIP, "1.2.3.4", true},
+		{"1.2.3[.]4", TypeIP, "1.2.3.4", true},
+		{"evil.com", TypeDomain, "evil.com", true},
+		{"EVIL.COM", TypeDomain, "evil.com", true},
+		{"hxxp://evil[.]com/x.php", TypeURL, "http://evil.com/x.php", true},
+		{"AS12345", TypeASN, "AS12345", true},
+		{"as99", TypeASN, "AS99", true},
+		{"javascript:alert(1)", TypeUnknown, "", false},
+		{"function(){return 1}", TypeUnknown, "", false},
+		{"", TypeUnknown, "", false},
+		{"no-dots", TypeUnknown, "", false},
+		{"999.999.999.999", TypeUnknown, "", false},
+	}
+	for _, c := range cases {
+		got, ok := Classify(c.in)
+		if ok != c.ok {
+			t.Errorf("Classify(%q) ok=%v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && (got.Type != c.typ || got.Value != c.val) {
+			t.Errorf("Classify(%q) = %v, want %s(%s)", c.in, got, c.typ, c.val)
+		}
+	}
+}
+
+func TestCanonicalDomain(t *testing.T) {
+	good := []string{"a.b", "sub.domain.example.com", "xn--test.org", "Evil.COM."}
+	for _, d := range good {
+		if _, ok := CanonicalDomain(d); !ok {
+			t.Errorf("CanonicalDomain(%q) rejected", d)
+		}
+	}
+	bad := []string{"", "nodots", ".leading.dot", "trailing..dots", "-bad.com",
+		"bad-.com", "a.123", strings.Repeat("x", 64) + ".com", "sp ace.com"}
+	for _, d := range bad {
+		if got, ok := CanonicalDomain(d); ok {
+			t.Errorf("CanonicalDomain(%q) accepted as %q", d, got)
+		}
+	}
+}
+
+func TestParseURL(t *testing.T) {
+	u, ok := ParseURL("https://sub.evil.com:8443/a/b/drop.exe?x=1&y=2")
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if u.Scheme != "https" || u.Host != "sub.evil.com" || u.Port != "8443" {
+		t.Fatalf("parsed %+v", u)
+	}
+	if u.Path != "/a/b/drop.exe" || u.Query != "x=1&y=2" {
+		t.Fatalf("path/query %+v", u)
+	}
+	if u.FileExt() != "exe" {
+		t.Fatalf("ext %q", u.FileExt())
+	}
+	if u.HostIsIP {
+		t.Fatal("domain flagged as IP")
+	}
+
+	u2, ok := ParseURL("http://10.0.0.1/x")
+	if !ok || !u2.HostIsIP || u2.Host != "10.0.0.1" {
+		t.Fatalf("IP host parse: %+v ok=%v", u2, ok)
+	}
+
+	for _, bad := range []string{"ftp://x.com/a", "http://", "not a url", "http:///path"} {
+		if _, ok := ParseURL(bad); ok {
+			t.Errorf("ParseURL(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseURLCanonicalIdempotent(t *testing.T) {
+	f := func(host, path string) bool {
+		u, ok := ParseURL("http://evil.example/" + sanitize(path))
+		if !ok {
+			return true
+		}
+		u2, ok2 := ParseURL(u.Canonical)
+		return ok2 && u2.Canonical == u.Canonical
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r > 32 && r < 127 && r != '<' && r != '>' && r != '"' && r != '\'' && r != '`' && r != '{' && r != '}' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func TestLexicalFeatures(t *testing.T) {
+	l := LexicalFeatures("http://ab1.com/x?a=1&b=2")
+	if l.Length != 24 {
+		t.Fatalf("length %v", l.Length)
+	}
+	if l.Digits != 3 {
+		t.Fatalf("digits %v", l.Digits)
+	}
+	if l.QueryParams != 2 {
+		t.Fatalf("query params %v", l.QueryParams)
+	}
+	if l.PathDepth != 1 {
+		t.Fatalf("path depth %v", l.PathDepth)
+	}
+	if l.Entropy <= 0 {
+		t.Fatalf("entropy %v", l.Entropy)
+	}
+	if len(l.Vector()) != 10 {
+		t.Fatalf("vector size %d", len(l.Vector()))
+	}
+	if len(l.DomainVector()) != 4 {
+		t.Fatalf("domain vector size %d", len(l.DomainVector()))
+	}
+}
+
+func TestEntropyOrdering(t *testing.T) {
+	low := LexicalFeatures("aaaaaaaaaaaa").Entropy
+	high := LexicalFeatures("k9x2qv7jw3zp").Entropy
+	if low >= high {
+		t.Fatalf("entropy ordering broken: uniform %v >= random %v", low, high)
+	}
+}
+
+func TestTLD(t *testing.T) {
+	if TLD("a.b.co.uk") != "uk" {
+		t.Fatal("TLD of a.b.co.uk")
+	}
+	if TLD("nodot") != "nodot" {
+		t.Fatal("TLD of bare label")
+	}
+}
+
+func TestClassifyIsTotalFunction(t *testing.T) {
+	// Classify must never panic, whatever bytes arrive in a feed.
+	f := func(s string) bool {
+		_, _ = Classify(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

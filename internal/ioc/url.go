@@ -1,0 +1,193 @@
+package ioc
+
+import (
+	"math"
+	"strings"
+)
+
+// URL is a decomposed URL indicator. TRAIL derives the HostedOn relation
+// (URL -> Domain) and the URL's lexical features from this decomposition,
+// so the parser is hand-rolled rather than delegating to net/url: threat-
+// report URLs are frequently not RFC-compliant and must still parse.
+type URL struct {
+	Canonical string // scheme://host[:port]/path[?query]
+	Scheme    string
+	Host      string // domain or IP literal, lowercase
+	HostIsIP  bool
+	Port      string // empty if none
+	Path      string // begins with '/' (or empty)
+	Query     string // without '?'
+}
+
+// ParseURL decomposes a (refanged) URL string. It accepts http and https
+// schemes only — the only schemes present in network IOC feeds — and
+// requires a syntactically valid host.
+func ParseURL(s string) (URL, bool) {
+	var u URL
+	rest := s
+	switch {
+	case strings.HasPrefix(rest, "http://"):
+		u.Scheme = "http"
+		rest = rest[len("http://"):]
+	case strings.HasPrefix(rest, "https://"):
+		u.Scheme = "https"
+		rest = rest[len("https://"):]
+	default:
+		return URL{}, false
+	}
+	// Split host[:port] from path?query.
+	hostport := rest
+	if i := strings.IndexAny(rest, "/?"); i >= 0 {
+		hostport = rest[:i]
+		if rest[i] == '/' {
+			u.Path = rest[i:]
+		} else {
+			u.Path = ""
+			u.Query = rest[i+1:]
+		}
+		if j := strings.IndexByte(u.Path, '?'); j >= 0 {
+			u.Query = u.Path[j+1:]
+			u.Path = u.Path[:j]
+		}
+	}
+	if i := strings.LastIndexByte(hostport, ':'); i >= 0 {
+		port := hostport[i+1:]
+		if isDigits(port) {
+			u.Port = port
+			hostport = hostport[:i]
+		}
+	}
+	host := strings.ToLower(hostport)
+	if host == "" {
+		return URL{}, false
+	}
+	if d, ok := CanonicalDomain(host); ok {
+		u.Host = d
+	} else if ip, ok := parseIPHost(host); ok {
+		u.Host = ip
+		u.HostIsIP = true
+	} else {
+		return URL{}, false
+	}
+	var b strings.Builder
+	b.WriteString(u.Scheme)
+	b.WriteString("://")
+	b.WriteString(u.Host)
+	if u.Port != "" {
+		b.WriteByte(':')
+		b.WriteString(u.Port)
+	}
+	b.WriteString(u.Path)
+	if u.Query != "" {
+		b.WriteByte('?')
+		b.WriteString(u.Query)
+	}
+	u.Canonical = b.String()
+	return u, true
+}
+
+func parseIPHost(s string) (string, bool) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return "", false
+	}
+	for _, p := range parts {
+		if !isDigits(p) || len(p) > 3 {
+			return "", false
+		}
+		v := 0
+		for i := 0; i < len(p); i++ {
+			v = v*10 + int(p[i]-'0')
+		}
+		if v > 255 {
+			return "", false
+		}
+	}
+	return s, true
+}
+
+// FileExt returns the extension of the path's final segment, without the
+// dot ("php" for "/a/b/drop.php"), or "" if none.
+func (u URL) FileExt() string {
+	base := u.Path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.LastIndexByte(base, '.'); i >= 0 && i < len(base)-1 {
+		return strings.ToLower(base[i+1:])
+	}
+	return ""
+}
+
+// Lexical holds the 10 lexical URL features the paper tracks (§IV-B):
+// length statistics, character-class counts and Shannon entropy. The same
+// struct backs the 4 lexical domain features.
+type Lexical struct {
+	Length      float64
+	Digits      float64
+	Letters     float64
+	Specials    float64 // neither alphanumeric nor '.' nor '/'
+	Dots        float64
+	Slashes     float64
+	QueryParams float64
+	PathDepth   float64
+	Entropy     float64
+	DigitRatio  float64
+}
+
+// LexicalFeatures computes the lexical statistics of s. Query parameter
+// and path-depth counts only make sense for URLs, but the function is
+// total for any string.
+func LexicalFeatures(s string) Lexical {
+	var l Lexical
+	l.Length = float64(len(s))
+	counts := make(map[byte]int)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		counts[c]++
+		switch {
+		case c >= '0' && c <= '9':
+			l.Digits++
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			l.Letters++
+		case c == '.':
+			l.Dots++
+		case c == '/':
+			l.Slashes++
+		default:
+			l.Specials++
+		}
+	}
+	if len(s) > 0 {
+		l.DigitRatio = l.Digits / l.Length
+		n := float64(len(s))
+		for _, c := range counts {
+			p := float64(c) / n
+			l.Entropy -= p * math.Log2(p)
+		}
+	}
+	l.QueryParams = float64(strings.Count(s, "&"))
+	if strings.ContainsRune(s, '?') {
+		l.QueryParams++
+	}
+	if i := strings.Index(s, "://"); i >= 0 {
+		l.PathDepth = float64(strings.Count(s[i+3:], "/"))
+	} else {
+		l.PathDepth = l.Slashes
+	}
+	return l
+}
+
+// Vector returns the lexical features as a fixed-order 10-element slice.
+func (l Lexical) Vector() []float64 {
+	return []float64{
+		l.Length, l.Digits, l.Letters, l.Specials, l.Dots,
+		l.Slashes, l.QueryParams, l.PathDepth, l.Entropy, l.DigitRatio,
+	}
+}
+
+// DomainVector returns the 4 lexical features the paper tracks for
+// domains: length, digit count, dot (subdomain) count and entropy.
+func (l Lexical) DomainVector() []float64 {
+	return []float64{l.Length, l.Digits, l.Dots, l.Entropy}
+}

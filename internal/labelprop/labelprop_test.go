@@ -1,0 +1,119 @@
+package labelprop
+
+import (
+	"math"
+	"testing"
+
+	"trail/internal/graph"
+	"trail/internal/mat"
+)
+
+// chain builds a path graph 0-1-2-...-n-1 and returns its adjacency.
+func chain(n int) [][]graph.NodeID {
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.Upsert(graph.KindEvent, string(rune('a'+i)))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), graph.EdgeInReport)
+	}
+	return g.Adjacency()
+}
+
+func TestPropagateReachesWithinLayers(t *testing.T) {
+	adj := chain(5)
+	seeds := map[graph.NodeID]int{0: 0}
+	f2 := Propagate(adj, seeds, 2, 2)
+	// Node 2 is exactly 2 hops away: reachable at 2 layers.
+	if f2.At(2, 0) <= 0 {
+		t.Fatal("2-hop node not reached in 2 layers")
+	}
+	// Node 3 is 3 hops away: must NOT be reached in 2 layers.
+	if f2.At(3, 0) != 0 {
+		t.Fatalf("3-hop node reached in 2 layers: %v", f2.At(3, 0))
+	}
+	f3 := Propagate(adj, seeds, 2, 3)
+	if f3.At(3, 0) <= 0 {
+		t.Fatal("3-hop node not reached in 3 layers")
+	}
+}
+
+func TestPredictUnreachableIsMinusOne(t *testing.T) {
+	adj := chain(3)
+	// Add an isolated node.
+	adj = append(adj, nil)
+	seeds := map[graph.NodeID]int{0: 1}
+	preds := Predict(Propagate(adj, seeds, 2, 4), []graph.NodeID{2, 3})
+	if preds[0] != 1 {
+		t.Fatalf("reachable node predicted %d", preds[0])
+	}
+	if preds[1] != -1 {
+		t.Fatalf("isolated node predicted %d, want -1", preds[1])
+	}
+}
+
+func TestCloserSeedWins(t *testing.T) {
+	// 0(seed A) - 1 - 2(query) - 3 - 4 - 5(seed B): query is closer to A.
+	adj := chain(6)
+	seeds := map[graph.NodeID]int{0: 0, 5: 1}
+	f := Propagate(adj, seeds, 2, 4)
+	row := f.Row(2)
+	if row[0] <= row[1] {
+		t.Fatalf("closer seed should dominate: %v", row)
+	}
+	preds := Predict(f, []graph.NodeID{2})
+	if preds[0] != 0 {
+		t.Fatalf("predicted %d", preds[0])
+	}
+}
+
+func TestHighDegreeHubDilutesSignal(t *testing.T) {
+	// A seed connected through a hub with many unrelated neighbours
+	// should transmit less mass than one through a private path (the
+	// paper's "common public IP" argument).
+	g := graph.New()
+	for i := 0; i < 12; i++ {
+		g.Upsert(graph.KindIP, string(rune('a'+i)))
+	}
+	// Private path: 0(seed) - 1 - 2(query).
+	g.AddEdge(0, 1, graph.EdgeInReport)
+	g.AddEdge(1, 2, graph.EdgeInReport)
+	// Hub path: 3(seed) - 4(hub) - 5(query); hub also touches 6..11.
+	g.AddEdge(3, 4, graph.EdgeInReport)
+	g.AddEdge(4, 5, graph.EdgeInReport)
+	for i := 6; i < 12; i++ {
+		g.AddEdge(4, graph.NodeID(i), graph.EdgeInReport)
+	}
+	adj := g.Adjacency()
+	f := Propagate(adj, map[graph.NodeID]int{0: 0, 3: 1}, 2, 2)
+	if f.At(2, 0) <= f.At(5, 1) {
+		t.Fatalf("hub path %v should carry less mass than private path %v",
+			f.At(5, 1), f.At(2, 0))
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	if Distribution([]float64{0, 0}) != nil {
+		t.Fatal("zero row should be unattributed")
+	}
+	d := Distribution([]float64{1, 3})
+	if d == nil {
+		t.Fatal("nonzero row should get a distribution")
+	}
+	if math.Abs(mat.Sum(d)-1) > 1e-9 {
+		t.Fatalf("distribution sums to %v", mat.Sum(d))
+	}
+	if d[1] <= d[0] {
+		t.Fatalf("softmax ordering broken: %v", d)
+	}
+}
+
+func TestAttributeEndToEnd(t *testing.T) {
+	adj := chain(4)
+	preds := Attribute(adj, map[graph.NodeID]int{0: 1}, []graph.NodeID{1, 2, 3}, 2, 4)
+	for i, p := range preds {
+		if p != 1 {
+			t.Fatalf("query %d predicted %d", i, p)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+// Package mat provides the dense linear algebra primitives used by the
+// machine-learning substrates in this repository: row-major float64
+// matrices, element-wise kernels, matrix products, and the handful of
+// reductions (softmax, argmax, norms) that the neural network, GNN and
+// label-propagation code need.
+//
+// The package is deliberately small and allocation-conscious rather than a
+// general BLAS: every routine the higher layers need is here, and nothing
+// else. All matrices are dense and row-major; a Matrix value is cheap to
+// copy (it shares the backing slice) in the same way a Go slice is.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values. The zero value is
+// an empty 0x0 matrix. Matrix values share backing storage when copied;
+// use Clone for a deep copy.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zeroed rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows. The data is
+// copied.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("mat: ragged row %d: got %d cols, want %d", i, len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// FromSlice wraps an existing row-major slice without copying. The slice
+// length must equal rows*cols.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: FromSlice length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// SetRow copies v into row i. len(v) must equal Cols.
+func (m *Matrix) SetRow(i int, v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mat: SetRow length %d != %d", len(v), m.Cols))
+	}
+	copy(m.Row(i), v)
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// MatMul returns a*b. Panics if the inner dimensions disagree.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MatMul %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a*b, reusing dst's storage. dst must be
+// a.Rows x b.Cols and must not alias a or b.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MatMulInto %dx%d = %dx%d * %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.Zero()
+	// ikj loop order: streams through b and dst rows sequentially, which is
+	// substantially faster than the naive ijk order for row-major data.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB returns a * bᵀ without materialising the transpose.
+func MatMulTransB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MatMulTransB %dx%d * (%dx%d)T", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = Dot(arow, b.Row(j))
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ * b without materialising the transpose.
+func MatMulTransA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MatMulTransA (%dx%d)T * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a+b element-wise.
+func Add(a, b *Matrix) *Matrix {
+	checkSameShape("Add", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// AddInPlace adds b into a element-wise and returns a.
+func AddInPlace(a, b *Matrix) *Matrix {
+	checkSameShape("AddInPlace", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+	return a
+}
+
+// Sub returns a-b element-wise.
+func Sub(a, b *Matrix) *Matrix {
+	checkSameShape("Sub", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Hadamard returns the element-wise product a⊙b.
+func Hadamard(a, b *Matrix) *Matrix {
+	checkSameShape("Hadamard", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] *= v
+	}
+	return out
+}
+
+// Scale multiplies every element of m by s in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddRowVector adds vector v to every row of m in place and returns m.
+// len(v) must equal m.Cols.
+func (m *Matrix) AddRowVector(v []float64) *Matrix {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mat: AddRowVector length %d != %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, x := range v {
+			row[j] += x
+		}
+	}
+	return m
+}
+
+// Apply replaces every element x with f(x) in place and returns m.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+	return m
+}
+
+// ColSums returns the per-column sums of m.
+func (m *Matrix) ColSums() []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j, v := range m.Row(i) {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// ColMeans returns the per-column means of m. A 0-row matrix yields zeros.
+func (m *Matrix) ColMeans() []float64 {
+	out := m.ColSums()
+	if m.Rows == 0 {
+		return out
+	}
+	inv := 1.0 / float64(m.Rows)
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// L2NormalizeRows rescales each row to unit L2 norm in place and returns m.
+// Zero rows are left untouched.
+func (m *Matrix) L2NormalizeRows() *Matrix {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		n := Norm2(row)
+		if n > 0 {
+			inv := 1 / n
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+	return m
+}
+
+// SelectRows returns a new matrix consisting of the given rows of m, in
+// order. Indices may repeat.
+func (m *Matrix) SelectRows(idx []int) *Matrix {
+	out := New(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// HStack concatenates matrices horizontally (they must agree on Rows).
+func HStack(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic(fmt.Sprintf("mat: HStack row mismatch %d vs %d", m.Rows, rows))
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		dst := out.Row(i)
+		off := 0
+		for _, m := range ms {
+			copy(dst[off:off+m.Cols], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// VStack concatenates matrices vertically (they must agree on Cols).
+func VStack(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic(fmt.Sprintf("mat: VStack col mismatch %d vs %d", m.Cols, cols))
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.Data[off:off+len(m.Data)], m.Data)
+		off += len(m.Data)
+	}
+	return out
+}
+
+// MaxAbs returns the largest absolute element value in m (0 for empty).
+func (m *Matrix) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+func checkSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,43 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandUniform fills a new rows x cols matrix with uniform values in
+// [-scale, scale) drawn from rng.
+func RandUniform(rng *rand.Rand, rows, cols int, scale float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+// GlorotUniform returns a rows x cols matrix initialised with the Glorot
+// (Xavier) uniform scheme: U(-s, s) with s = sqrt(6/(fanIn+fanOut)). This
+// is the initialisation used by every dense layer in the NN, autoencoder
+// and GraphSAGE modules.
+func GlorotUniform(rng *rand.Rand, rows, cols int) *Matrix {
+	s := math.Sqrt(6.0 / float64(rows+cols))
+	return RandUniform(rng, rows, cols, s)
+}
+
+// RandNormal fills a new rows x cols matrix with N(mean, std) samples.
+func RandNormal(rng *rand.Rand, rows, cols int, mean, std float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()*std + mean
+	}
+	return m
+}
+
+// Perm returns a random permutation of [0, n) using rng. It is a thin
+// wrapper so callers do not need math/rand directly.
+func Perm(rng *rand.Rand, n int) []int { return rng.Perm(n) }
+
+// Shuffle permutes idx in place using rng.
+func Shuffle(rng *rand.Rand, idx []int) {
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+}

@@ -1,0 +1,143 @@
+package mat
+
+import "math"
+
+// Dot returns the inner product of a and b. The slices must have equal
+// length; the shorter length is used if they differ (callers in this repo
+// always pass equal lengths, but slicing bugs should not read out of
+// bounds).
+func Dot(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of the elements of v.
+func Sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of v (0 for an empty slice).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return Sum(v) / float64(len(v))
+}
+
+// Std returns the population standard deviation of v (0 for len < 2).
+func Std(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// Argmax returns the index of the largest element of v (-1 for empty).
+// Ties resolve to the first maximal index.
+func Argmax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, bi := v[0], 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > best {
+			best, bi = v[i], i
+		}
+	}
+	return bi
+}
+
+// Softmax writes the softmax of src into dst (they may alias) using the
+// numerically stable max-shift formulation. Both slices must have the same
+// length.
+func Softmax(dst, src []float64) {
+	if len(src) == 0 {
+		return
+	}
+	max := src[0]
+	for _, v := range src[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range src {
+		e := math.Exp(v - max)
+		dst[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		uniform := 1 / float64(len(dst))
+		for i := range dst {
+			dst[i] = uniform
+		}
+		return
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// SoftmaxRows applies Softmax to every row of m in place and returns m.
+func SoftmaxRows(m *Matrix) *Matrix {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		Softmax(row, row)
+	}
+	return m
+}
+
+// OneHot returns a length-n vector with a 1 at index k (all zeros if k is
+// out of range).
+func OneHot(n, k int) []float64 {
+	v := make([]float64, n)
+	if k >= 0 && k < n {
+		v[k] = 1
+	}
+	return v
+}
+
+// Clamp limits x to the interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,155 @@
+// Package ml provides the classical machine-learning substrate of the
+// reproduction: evaluation metrics, preprocessing (standard scaling,
+// SMOTE oversampling), stratified k-fold splitting, and the feed-forward
+// neural network classifier of §VI-A, all implemented on the stdlib.
+package ml
+
+import (
+	"fmt"
+	"strings"
+
+	"trail/internal/mat"
+)
+
+// Classifier is the contract shared by every attribution model in this
+// repository (NN here, Random Forest and gradient-boosted trees in
+// internal/tree). Fit trains on rows of X with class labels y in
+// [0, classes); PredictProba returns one probability row per input row.
+type Classifier interface {
+	Fit(X *mat.Matrix, y []int) error
+	PredictProba(X *mat.Matrix) *mat.Matrix
+}
+
+// Predict returns the argmax class per row of a Classifier's
+// probabilities.
+func Predict(c Classifier, X *mat.Matrix) []int {
+	probs := c.PredictProba(X)
+	out := make([]int, probs.Rows)
+	for i := range out {
+		out[i] = mat.Argmax(probs.Row(i))
+	}
+	return out
+}
+
+// Accuracy returns the fraction of positions where pred equals truth.
+func Accuracy(truth, pred []int) float64 {
+	if len(truth) == 0 || len(truth) != len(pred) {
+		return 0
+	}
+	ok := 0
+	for i, t := range truth {
+		if pred[i] == t {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(truth))
+}
+
+// BalancedAccuracy returns the unweighted mean of per-class recalls over
+// classes present in truth — the paper's B-Acc metric for the imbalanced
+// APT distribution.
+func BalancedAccuracy(truth, pred []int, classes int) float64 {
+	if len(truth) == 0 || len(truth) != len(pred) {
+		return 0
+	}
+	correct := make([]int, classes)
+	total := make([]int, classes)
+	for i, t := range truth {
+		if t < 0 || t >= classes {
+			continue
+		}
+		total[t]++
+		if pred[i] == t {
+			correct[t]++
+		}
+	}
+	sum, n := 0.0, 0
+	for c := 0; c < classes; c++ {
+		if total[c] > 0 {
+			sum += float64(correct[c]) / float64(total[c])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ConfusionMatrix counts truth (rows) vs prediction (columns).
+type ConfusionMatrix struct {
+	Classes int
+	Counts  [][]int
+}
+
+// NewConfusionMatrix tallies a confusion matrix. Out-of-range labels are
+// ignored.
+func NewConfusionMatrix(truth, pred []int, classes int) *ConfusionMatrix {
+	cm := &ConfusionMatrix{Classes: classes, Counts: make([][]int, classes)}
+	for i := range cm.Counts {
+		cm.Counts[i] = make([]int, classes)
+	}
+	for i, t := range truth {
+		p := pred[i]
+		if t >= 0 && t < classes && p >= 0 && p < classes {
+			cm.Counts[t][p]++
+		}
+	}
+	return cm
+}
+
+// Render pretties the confusion matrix restricted to classes that appear,
+// using the provided class names.
+func (cm *ConfusionMatrix) Render(names []string) string {
+	var present []int
+	for c := 0; c < cm.Classes; c++ {
+		rowAny, colAny := false, false
+		for j := 0; j < cm.Classes; j++ {
+			rowAny = rowAny || cm.Counts[c][j] > 0
+			colAny = colAny || cm.Counts[j][c] > 0
+		}
+		if rowAny || colAny {
+			present = append(present, c)
+		}
+	}
+	name := func(c int) string {
+		if c < len(names) {
+			return names[c]
+		}
+		return fmt.Sprintf("class%d", c)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "truth\\pred")
+	for _, c := range present {
+		fmt.Fprintf(&b, "%10s", trunc(name(c), 9))
+	}
+	b.WriteByte('\n')
+	for _, r := range present {
+		fmt.Fprintf(&b, "%-12s", trunc(name(r), 11))
+		for _, c := range present {
+			fmt.Fprintf(&b, "%10d", cm.Counts[r][c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trunc(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+// MeanStd summarises a slice of fold scores as mean ± population std.
+type MeanStd struct {
+	Mean, Std float64
+}
+
+// Summarize computes MeanStd over scores.
+func Summarize(scores []float64) MeanStd {
+	return MeanStd{Mean: mat.Mean(scores), Std: mat.Std(scores)}
+}
+
+// String renders as "0.8236 ± 0.0061".
+func (m MeanStd) String() string { return fmt.Sprintf("%.4f ± %.4f", m.Mean, m.Std) }

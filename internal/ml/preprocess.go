@@ -1,0 +1,218 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"trail/internal/mat"
+)
+
+// StandardScaler rescales features to zero mean and unit variance using
+// statistics estimated on the training set only (§VI-A preprocessing).
+type StandardScaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler estimates per-column mean and standard deviation from X.
+// Columns with zero variance get Std 1 so transformation is a no-op shift.
+func FitScaler(X *mat.Matrix) *StandardScaler {
+	s := &StandardScaler{Mean: X.ColMeans(), Std: make([]float64, X.Cols)}
+	for j := range s.Std {
+		sum := 0.0
+		for i := 0; i < X.Rows; i++ {
+			d := X.At(i, j) - s.Mean[j]
+			sum += d * d
+		}
+		sd := 0.0
+		if X.Rows > 0 {
+			sd = math.Sqrt(sum / float64(X.Rows))
+		}
+		if sd == 0 {
+			sd = 1
+		}
+		s.Std[j] = sd
+	}
+	return s
+}
+
+// Transform returns a scaled copy of X.
+func (s *StandardScaler) Transform(X *mat.Matrix) *mat.Matrix {
+	if X.Cols != len(s.Mean) {
+		panic(fmt.Sprintf("ml: scaler fitted on %d cols, got %d", len(s.Mean), X.Cols))
+	}
+	out := X.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return out
+}
+
+// SMOTE oversamples minority classes by interpolating between same-class
+// nearest neighbours (Chawla et al. 2002), used by the paper to balance
+// per-IOC training sets. Classes are brought up to the majority class
+// count. k is the neighbour pool size (k=5 in the original paper).
+func SMOTE(rng *rand.Rand, X *mat.Matrix, y []int, classes, k int) (*mat.Matrix, []int) {
+	if X.Rows != len(y) {
+		panic("ml: SMOTE rows/labels mismatch")
+	}
+	if k < 1 {
+		k = 5
+	}
+	byClass := make([][]int, classes)
+	for i, c := range y {
+		if c >= 0 && c < classes {
+			byClass[c] = append(byClass[c], i)
+		}
+	}
+	maxCount := 0
+	for _, idx := range byClass {
+		if len(idx) > maxCount {
+			maxCount = len(idx)
+		}
+	}
+
+	outRows := [][]float64{}
+	outY := []int{}
+	for i := 0; i < X.Rows; i++ {
+		outRows = append(outRows, X.Row(i))
+		outY = append(outY, y[i])
+	}
+	for c, idx := range byClass {
+		need := maxCount - len(idx)
+		if need <= 0 || len(idx) < 2 {
+			continue
+		}
+		kk := k
+		if kk >= len(idx) {
+			kk = len(idx) - 1
+		}
+		for s := 0; s < need; s++ {
+			a := idx[rng.Intn(len(idx))]
+			b := nearestOfSample(rng, X, idx, a, kk)
+			t := rng.Float64()
+			ra, rb := X.Row(a), X.Row(b)
+			synth := make([]float64, X.Cols)
+			for j := range synth {
+				synth[j] = ra[j] + t*(rb[j]-ra[j])
+			}
+			outRows = append(outRows, synth)
+			outY = append(outY, c)
+		}
+	}
+	return mat.FromRows(outRows), outY
+}
+
+// nearestOfSample returns one of the kk nearest same-class neighbours of
+// row a, estimated over a bounded random sample of the class so SMOTE
+// stays sub-quadratic on large classes.
+func nearestOfSample(rng *rand.Rand, X *mat.Matrix, idx []int, a, kk int) int {
+	const sample = 64
+	cand := idx
+	if len(idx) > sample {
+		cand = make([]int, sample)
+		for i := range cand {
+			cand[i] = idx[rng.Intn(len(idx))]
+		}
+	}
+	type distIdx struct {
+		d float64
+		i int
+	}
+	ds := make([]distIdx, 0, len(cand))
+	ra := X.Row(a)
+	for _, i := range cand {
+		if i == a {
+			continue
+		}
+		ri := X.Row(i)
+		d := 0.0
+		for j := range ra {
+			diff := ra[j] - ri[j]
+			d += diff * diff
+		}
+		ds = append(ds, distIdx{d, i})
+	}
+	if len(ds) == 0 {
+		return a
+	}
+	sort.Slice(ds, func(x, y int) bool { return ds[x].d < ds[y].d })
+	if kk > len(ds) {
+		kk = len(ds)
+	}
+	return ds[rng.Intn(kk)].i
+}
+
+// StratifiedKFold partitions sample indices into k folds preserving the
+// class distribution. It returns, for each fold, the held-out test
+// indices; the training set is the complement.
+func StratifiedKFold(rng *rand.Rand, y []int, k int) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	byClass := make(map[int][]int)
+	for i, c := range y {
+		byClass[c] = append(byClass[c], i)
+	}
+	folds := make([][]int, k)
+	// Iterate classes in sorted order for determinism.
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		idx := byClass[c]
+		mat.Shuffle(rng, idx)
+		for i, sampleIdx := range idx {
+			f := i % k
+			folds[f] = append(folds[f], sampleIdx)
+		}
+	}
+	for _, f := range folds {
+		sort.Ints(f)
+	}
+	return folds
+}
+
+// Complement returns all indices in [0, n) not present in the sorted
+// slice test.
+func Complement(n int, test []int) []int {
+	inTest := make(map[int]bool, len(test))
+	for _, i := range test {
+		inTest[i] = true
+	}
+	out := make([]int, 0, n-len(test))
+	for i := 0; i < n; i++ {
+		if !inTest[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Mode returns the most frequent value in votes (ties resolve to the
+// smallest value; -1 for empty input). The traditional-ML event
+// attribution baseline predicts an event's APT as the mode of its IOCs'
+// predictions.
+func Mode(votes []int) int {
+	if len(votes) == 0 {
+		return -1
+	}
+	counts := make(map[int]int)
+	for _, v := range votes {
+		counts[v]++
+	}
+	best, bestCount := -1, -1
+	for v, c := range counts {
+		if c > bestCount || (c == bestCount && v < best) {
+			best, bestCount = v, c
+		}
+	}
+	return best
+}

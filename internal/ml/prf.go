@@ -1,0 +1,125 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"trail/internal/mat"
+)
+
+// ClassReport holds per-class precision, recall and F1.
+type ClassReport struct {
+	Class     int
+	Support   int
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// ClassificationReport computes per-class precision/recall/F1 for classes
+// that appear in truth or pred, ordered by class index. The companion of
+// the confusion matrix for the Fig. 7 analysis.
+func ClassificationReport(truth, pred []int, classes int) []ClassReport {
+	tp := make([]int, classes)
+	fp := make([]int, classes)
+	fn := make([]int, classes)
+	support := make([]int, classes)
+	for i, tr := range truth {
+		p := pred[i]
+		if tr >= 0 && tr < classes {
+			support[tr]++
+			if p == tr {
+				tp[tr]++
+			} else {
+				fn[tr]++
+			}
+		}
+		if p >= 0 && p < classes && p != tr {
+			fp[p]++
+		}
+	}
+	var out []ClassReport
+	for c := 0; c < classes; c++ {
+		if support[c] == 0 && fp[c] == 0 {
+			continue
+		}
+		r := ClassReport{Class: c, Support: support[c]}
+		if tp[c]+fp[c] > 0 {
+			r.Precision = float64(tp[c]) / float64(tp[c]+fp[c])
+		}
+		if tp[c]+fn[c] > 0 {
+			r.Recall = float64(tp[c]) / float64(tp[c]+fn[c])
+		}
+		if r.Precision+r.Recall > 0 {
+			r.F1 = 2 * r.Precision * r.Recall / (r.Precision + r.Recall)
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// MacroF1 averages F1 over classes with support.
+func MacroF1(truth, pred []int, classes int) float64 {
+	reports := ClassificationReport(truth, pred, classes)
+	sum, n := 0.0, 0
+	for _, r := range reports {
+		if r.Support > 0 {
+			sum += r.F1
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RenderReport formats a classification report with class names.
+func RenderReport(reports []ClassReport, names []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %9s %9s %9s %9s\n", "class", "precision", "recall", "f1", "support")
+	for _, r := range reports {
+		name := fmt.Sprintf("class%d", r.Class)
+		if r.Class < len(names) {
+			name = names[r.Class]
+		}
+		fmt.Fprintf(&b, "%-12s %9.3f %9.3f %9.3f %9d\n",
+			trunc(name, 11), r.Precision, r.Recall, r.F1, r.Support)
+	}
+	return b.String()
+}
+
+// TopKAccuracy returns the fraction of rows whose true class is among the
+// k highest-probability predictions. Useful for the analyst-facing view:
+// "the right group is in the model's top 3" is actionable even when the
+// argmax is wrong.
+func TopKAccuracy(probs *mat.Matrix, truth []int, k int) float64 {
+	if probs.Rows == 0 || probs.Rows != len(truth) {
+		return 0
+	}
+	if k < 1 {
+		k = 1
+	}
+	hit := 0
+	idx := make([]int, probs.Cols)
+	for i := 0; i < probs.Rows; i++ {
+		row := probs.Row(i)
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
+		limit := k
+		if limit > len(idx) {
+			limit = len(idx)
+		}
+		for _, c := range idx[:limit] {
+			if c == truth[i] {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(probs.Rows)
+}

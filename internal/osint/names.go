@@ -1,0 +1,62 @@
+package osint
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// dictionary words used for low-entropy (human-looking) domain labels.
+var dictWords = []string{
+	"cloud", "secure", "update", "mail", "portal", "login", "account",
+	"service", "support", "center", "data", "sync", "drive", "docs",
+	"news", "media", "global", "tech", "soft", "micro", "net", "web",
+	"host", "store", "shop", "pay", "bank", "trade", "invest", "crypto",
+	"game", "play", "stream", "video", "photo", "social", "chat", "meet",
+	"work", "team", "office", "file", "share", "link", "fast", "safe",
+	"true", "blue", "red", "star", "sun", "moon", "sky", "sea", "hill",
+	"stone", "river", "forest", "eagle", "tiger", "wolf", "bear", "fox",
+}
+
+const dgaAlphabet = "abcdefghijklmnopqrstuvwxyz"
+const dgaDigitsSet = "0123456789"
+
+// genLabel produces one domain label with the given DGA style: entropy in
+// [0,1] mixes dictionary words with random characters, digits is the
+// per-character probability of a digit, and n is the approximate length.
+func genLabel(rng *rand.Rand, entropy, digits float64, n int) string {
+	if n < 3 {
+		n = 3
+	}
+	var b strings.Builder
+	for b.Len() < n {
+		if rng.Float64() >= entropy {
+			// Dictionary segment.
+			b.WriteString(dictWords[rng.Intn(len(dictWords))])
+			continue
+		}
+		// Random characters segment.
+		seg := 2 + rng.Intn(4)
+		for i := 0; i < seg && b.Len() < n+3; i++ {
+			if rng.Float64() < digits {
+				b.WriteByte(dgaDigitsSet[rng.Intn(len(dgaDigitsSet))])
+			} else {
+				b.WriteByte(dgaAlphabet[rng.Intn(len(dgaAlphabet))])
+			}
+		}
+	}
+	s := b.String()
+	if len(s) > n+4 {
+		s = s[:n+4]
+	}
+	// Labels must not start with a digit-only look; ensure first char is a
+	// letter so CanonicalDomain never rejects the name.
+	if s[0] >= '0' && s[0] <= '9' {
+		s = string(dgaAlphabet[rng.Intn(26)]) + s[1:]
+	}
+	return s
+}
+
+// genPathSegment produces one URL path segment in the group's style.
+func genPathSegment(rng *rand.Rand, entropy, digits float64) string {
+	return genLabel(rng, entropy, digits, 4+rng.Intn(6))
+}

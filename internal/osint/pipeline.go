@@ -1,0 +1,253 @@
+package osint
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"trail/internal/ioc"
+)
+
+// This file provides the production plumbing the paper's collector needs
+// around real enrichment providers: response caching (the paper notes OTX
+// archives tool outputs, so repeated lookups are the common case), rate
+// limiting (public OSINT APIs are quota-bound), and a concurrent
+// prefetcher that warms the cache for a batch of indicators before graph
+// construction. The synthetic World needs none of this, but the wrappers
+// are part of the public substrate so a real deployment only swaps the
+// innermost Services.
+
+// CachedServices memoises every lookup of an underlying Services,
+// including negative results. It is safe for concurrent use.
+type CachedServices struct {
+	inner osint // alias to avoid self-reference confusion
+	mu    sync.RWMutex
+	ips   map[string]cached[IPRecord]
+	doms  map[string]cached[DomainRecord]
+	pdns  map[string]cached[[]string]
+	urls  map[string]cached[URLRecord]
+
+	hits, misses int64
+}
+
+// osint is an internal alias so struct fields read cleanly.
+type osint = Services
+
+type cached[T any] struct {
+	val T
+	ok  bool
+}
+
+// NewCachedServices wraps inner with an unbounded memoisation layer.
+func NewCachedServices(inner Services) *CachedServices {
+	return &CachedServices{
+		inner: inner,
+		ips:   make(map[string]cached[IPRecord]),
+		doms:  make(map[string]cached[DomainRecord]),
+		pdns:  make(map[string]cached[[]string]),
+		urls:  make(map[string]cached[URLRecord]),
+	}
+}
+
+func cacheGet[T any](c *CachedServices, m map[string]cached[T], key string, fetch func(string) (T, bool)) (T, bool) {
+	c.mu.RLock()
+	e, ok := m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return e.val, e.ok
+	}
+	val, found := fetch(key)
+	c.mu.Lock()
+	c.misses++
+	m[key] = cached[T]{val: val, ok: found}
+	c.mu.Unlock()
+	return val, found
+}
+
+// LookupIP implements Services.
+func (c *CachedServices) LookupIP(addr string) (IPRecord, bool) {
+	return cacheGet(c, c.ips, addr, c.inner.LookupIP)
+}
+
+// PassiveDNSDomain implements Services.
+func (c *CachedServices) PassiveDNSDomain(name string) (DomainRecord, bool) {
+	return cacheGet(c, c.doms, name, c.inner.PassiveDNSDomain)
+}
+
+// PassiveDNSIP implements Services.
+func (c *CachedServices) PassiveDNSIP(addr string) ([]string, bool) {
+	return cacheGet(c, c.pdns, addr, c.inner.PassiveDNSIP)
+}
+
+// ProbeURL implements Services.
+func (c *CachedServices) ProbeURL(url string) (URLRecord, bool) {
+	return cacheGet(c, c.urls, url, c.inner.ProbeURL)
+}
+
+// Stats reports cache hits and misses since creation.
+func (c *CachedServices) Stats() (hits, misses int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}
+
+// RateLimitedServices throttles calls to an underlying Services with a
+// token bucket: at most Burst immediate calls, refilled at Rate per
+// second. All four lookup kinds share one bucket, matching how OSINT
+// providers meter API keys.
+type RateLimitedServices struct {
+	inner Services
+	mu    sync.Mutex
+	// tokens counts fractional available calls.
+	tokens float64
+	burst  float64
+	rate   float64
+	last   time.Time
+	now    func() time.Time
+	sleep  func(time.Duration)
+}
+
+// NewRateLimitedServices wraps inner with a token bucket of the given
+// rate (calls/second) and burst size.
+func NewRateLimitedServices(inner Services, rate float64, burst int) *RateLimitedServices {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimitedServices{
+		inner:  inner,
+		tokens: float64(burst),
+		burst:  float64(burst),
+		rate:   rate,
+		last:   time.Now(),
+		now:    time.Now,
+		sleep:  time.Sleep,
+	}
+}
+
+// take blocks until a token is available.
+func (r *RateLimitedServices) take() {
+	for {
+		r.mu.Lock()
+		now := r.now()
+		r.tokens += now.Sub(r.last).Seconds() * r.rate
+		r.last = now
+		if r.tokens > r.burst {
+			r.tokens = r.burst
+		}
+		if r.tokens >= 1 {
+			r.tokens--
+			r.mu.Unlock()
+			return
+		}
+		wait := time.Duration((1 - r.tokens) / r.rate * float64(time.Second))
+		r.mu.Unlock()
+		r.sleep(wait)
+	}
+}
+
+// LookupIP implements Services.
+func (r *RateLimitedServices) LookupIP(addr string) (IPRecord, bool) {
+	r.take()
+	return r.inner.LookupIP(addr)
+}
+
+// PassiveDNSDomain implements Services.
+func (r *RateLimitedServices) PassiveDNSDomain(name string) (DomainRecord, bool) {
+	r.take()
+	return r.inner.PassiveDNSDomain(name)
+}
+
+// PassiveDNSIP implements Services.
+func (r *RateLimitedServices) PassiveDNSIP(addr string) ([]string, bool) {
+	r.take()
+	return r.inner.PassiveDNSIP(addr)
+}
+
+// ProbeURL implements Services.
+func (r *RateLimitedServices) ProbeURL(url string) (URLRecord, bool) {
+	r.take()
+	return r.inner.ProbeURL(url)
+}
+
+// Prefetcher warms a CachedServices for a batch of pulses with a worker
+// pool, so the serial TKG build that follows never waits on the network.
+type Prefetcher struct {
+	Services Services
+	Workers  int
+}
+
+// ErrCanceled is returned when the prefetch context ends early.
+var ErrCanceled = errors.New("osint: prefetch canceled")
+
+// Prefetch resolves every indicator of every pulse (IP lookups, passive
+// DNS, URL probes) through the services layer. With a CachedServices on
+// top, this fills the cache; results themselves are discarded. It returns
+// the number of indicator queries issued.
+func (p *Prefetcher) Prefetch(ctx context.Context, pulses []Pulse) (int, error) {
+	workers := p.Workers
+	if workers < 1 {
+		workers = 8
+	}
+	type job struct{ typ, value string }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				switch j.typ {
+				case "ip":
+					p.Services.LookupIP(j.value)
+					p.Services.PassiveDNSIP(j.value)
+				case "domain":
+					p.Services.PassiveDNSDomain(j.value)
+				case "url":
+					p.Services.ProbeURL(j.value)
+				}
+			}
+		}()
+	}
+
+	count := 0
+	var err error
+feed:
+	for _, pulse := range pulses {
+		for _, ind := range pulse.Indicators {
+			// Feeds deliver defanged values; canonicalise exactly as the
+			// TKG builder will so the cache keys match.
+			item, ok := ioc.Classify(ind.Indicator)
+			if !ok {
+				continue
+			}
+			var typ string
+			switch item.Type {
+			case ioc.TypeIP:
+				typ = "ip"
+			case ioc.TypeDomain:
+				typ = "domain"
+			case ioc.TypeURL:
+				typ = "url"
+			default:
+				continue
+			}
+			select {
+			case jobs <- job{typ: typ, value: item.Value}:
+				count++
+			case <-ctx.Done():
+				err = ErrCanceled
+				break feed
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return count, err
+}

@@ -1,0 +1,211 @@
+package osint
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+	"trail/internal/ioc"
+)
+
+// countingServices wraps a Services and counts calls per method.
+type countingServices struct {
+	inner Services
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+func newCounting(inner Services) *countingServices {
+	return &countingServices{inner: inner, calls: map[string]int{}}
+}
+
+func (c *countingServices) bump(k string) {
+	c.mu.Lock()
+	c.calls[k]++
+	c.mu.Unlock()
+}
+
+func (c *countingServices) LookupIP(a string) (IPRecord, bool) {
+	c.bump("ip")
+	return c.inner.LookupIP(a)
+}
+func (c *countingServices) PassiveDNSDomain(n string) (DomainRecord, bool) {
+	c.bump("dom")
+	return c.inner.PassiveDNSDomain(n)
+}
+func (c *countingServices) PassiveDNSIP(a string) ([]string, bool) {
+	c.bump("pdns")
+	return c.inner.PassiveDNSIP(a)
+}
+func (c *countingServices) ProbeURL(u string) (URLRecord, bool) {
+	c.bump("url")
+	return c.inner.ProbeURL(u)
+}
+
+func (c *countingServices) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.calls {
+		n += v
+	}
+	return n
+}
+
+func TestCachedServicesMemoises(t *testing.T) {
+	w := testWorld(t)
+	counting := newCounting(w)
+	cached := NewCachedServices(counting)
+
+	var someIP string
+	for addr := range collectIPs(w) {
+		someIP = addr
+		break
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := cached.LookupIP(someIP); !ok {
+			t.Fatal("known IP not found")
+		}
+		cached.LookupIP("203.0.113.7") // negative result must also cache
+	}
+	if got := counting.calls["ip"]; got != 2 {
+		t.Fatalf("inner called %d times, want 2 (one per distinct key)", got)
+	}
+	hits, misses := cached.Stats()
+	if hits != 8 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func collectIPs(w *World) map[string]bool {
+	out := map[string]bool{}
+	for _, p := range w.Pulses() {
+		for _, ind := range p.Indicators {
+			// Indicators may be defanged on the wire; canonicalise.
+			if item, ok := ioc.Classify(ind.Indicator); ok && item.Type == ioc.TypeIP {
+				out[item.Value] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestRateLimiterThrottles(t *testing.T) {
+	w := testWorld(t)
+	rl := NewRateLimitedServices(w, 100, 2)
+	// Replace the clock so the test is deterministic and instant.
+	var fake time.Duration
+	rl.now = func() time.Time { return time.Unix(0, int64(fake)) }
+	var slept time.Duration
+	rl.sleep = func(d time.Duration) {
+		slept += d
+		fake += d
+	}
+	rl.last = rl.now()
+
+	for i := 0; i < 10; i++ {
+		rl.LookupIP("203.0.113.1")
+	}
+	// 10 calls at 100/s with burst 2: 8 calls must wait ~10ms each.
+	if slept < 60*time.Millisecond {
+		t.Fatalf("limiter slept only %v for 10 calls at 100/s", slept)
+	}
+}
+
+func TestPrefetchWarmsCache(t *testing.T) {
+	w := testWorld(t)
+	counting := newCounting(w)
+	cached := NewCachedServices(counting)
+	pf := &Prefetcher{Services: cached, Workers: 4}
+
+	pulses := w.Pulses()[:10]
+	n, err := pf.Prefetch(context.Background(), pulses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing prefetched")
+	}
+	innerBefore := counting.total()
+	// Re-prefetching must be free: everything is cached.
+	if _, err := pf.Prefetch(context.Background(), pulses); err != nil {
+		t.Fatal(err)
+	}
+	if counting.total() != innerBefore {
+		t.Fatalf("second prefetch hit the backend: %d -> %d", innerBefore, counting.total())
+	}
+}
+
+func TestPrefetchCancel(t *testing.T) {
+	w := testWorld(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pf := &Prefetcher{Services: w, Workers: 2}
+	if _, err := pf.Prefetch(ctx, w.Pulses()); err != ErrCanceled {
+		t.Fatalf("expected ErrCanceled, got %v", err)
+	}
+}
+
+func TestMISPConversion(t *testing.T) {
+	blob := `[
+	  {"Event": {"uuid": "u-1", "info": "campaign A", "date": "2023-05-01",
+	    "Tag": [{"name": "APT28"}, {"name": "phishing"}],
+	    "Attribute": [
+	      {"type": "ip-dst", "value": "1.2.3.4"},
+	      {"type": "domain", "value": "evil.com"},
+	      {"type": "url", "value": "hxxp://evil[.]com/x.php"},
+	      {"type": "domain|ip", "value": "pair.net|5.6.7.8"},
+	      {"type": "sha256", "value": "ab34"},
+	      {"type": "email-src", "value": "a@b.c"}
+	    ]}},
+	  {"Event": {"uuid": "u-2", "info": "bad date", "date": "yesterday", "Attribute": []}}
+	]`
+	pulses, skipped, err := DecodeMISP(strings.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped %d, want 1 (the bad-date event)", skipped)
+	}
+	if len(pulses) != 1 {
+		t.Fatalf("pulses %d", len(pulses))
+	}
+	p := pulses[0]
+	if p.ID != "misp-u-1" || len(p.Tags) != 2 {
+		t.Fatalf("pulse meta wrong: %+v", p)
+	}
+	// 5 network indicators survive: ip, domain, url, pair-domain, pair-ip.
+	if len(p.Indicators) != 5 {
+		t.Fatalf("indicators %d: %+v", len(p.Indicators), p.Indicators)
+	}
+	if !p.Created.Equal(time.Date(2023, 5, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Fatalf("created %v", p.Created)
+	}
+}
+
+func TestMISPNDJSON(t *testing.T) {
+	blob := `{"Event": {"uuid": "n-1", "info": "x", "date": "2023-01-02",
+	  "Attribute": [{"type": "ip", "value": "9.9.9.9"}]}}
+	{"Event": {"uuid": "n-2", "info": "y", "date": "2023-01-03",
+	  "Attribute": [{"type": "url", "value": "http://a.b/c"}]}}`
+	pulses, skipped, err := DecodeMISP(strings.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(pulses) != 2 {
+		t.Fatalf("pulses=%d skipped=%d", len(pulses), skipped)
+	}
+	if pulses[0].ID != "misp-n-1" || pulses[1].ID != "misp-n-2" {
+		t.Fatalf("IDs %s %s", pulses[0].ID, pulses[1].ID)
+	}
+}
+
+func TestMISPEmptyAndGarbage(t *testing.T) {
+	if p, s, err := DecodeMISP(strings.NewReader("")); err != nil || len(p) != 0 || s != 0 {
+		t.Fatalf("empty input: %v %v %v", p, s, err)
+	}
+	if _, _, err := DecodeMISP(strings.NewReader(`"just a string"`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

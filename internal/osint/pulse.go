@@ -1,0 +1,61 @@
+package osint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Indicator is one IOC entry in a pulse, in AlienVault OTX wire format.
+// Values may be defanged (hxxp://, [.]) exactly as real feeds deliver
+// them; the TRAIL collector refangs during parsing.
+type Indicator struct {
+	Indicator string `json:"indicator"`
+	Type      string `json:"type"`
+}
+
+// Pulse is an attributed incident report in OTX wire format: a set of
+// IOCs, free-form tags (which may be APT aliases), and a creation time.
+type Pulse struct {
+	ID         string      `json:"id"`
+	Name       string      `json:"name"`
+	Created    time.Time   `json:"created"`
+	Tags       []string    `json:"tags"`
+	Indicators []Indicator `json:"indicators"`
+
+	// TrueAPT is the generating group's roster index. It is ground truth
+	// available only because the world is synthetic; the TRAIL collector
+	// never reads it (it resolves Tags like the real system), but the
+	// evaluation harness uses it to score attribution.
+	TrueAPT int `json:"-"`
+	// Month is the simulation month index of the event.
+	Month int `json:"-"`
+}
+
+// EncodePulses writes pulses as newline-delimited JSON, the storage
+// format used by the cmd/trail tooling.
+func EncodePulses(w io.Writer, pulses []Pulse) error {
+	enc := json.NewEncoder(w)
+	for i := range pulses {
+		if err := enc.Encode(&pulses[i]); err != nil {
+			return fmt.Errorf("osint: encode pulse %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DecodePulses reads newline-delimited pulse JSON until EOF.
+func DecodePulses(r io.Reader) ([]Pulse, error) {
+	dec := json.NewDecoder(r)
+	var out []Pulse
+	for {
+		var p Pulse
+		if err := dec.Decode(&p); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("osint: decode pulse %d: %w", len(out), err)
+		}
+		out = append(out, p)
+	}
+}

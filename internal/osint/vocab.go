@@ -1,0 +1,124 @@
+package osint
+
+import "fmt"
+
+// Vocabulary sizes, matching the one-hot dimensions reported in §IV-B of
+// the paper. The head of each list holds realistic values (which the APT
+// profiles prefer); the tail is synthetic filler so the one-hot spaces
+// have the paper's dimensionality and real-world sparsity.
+const (
+	NumCountries   = 249
+	NumIssuers     = 250
+	NumFileTypes   = 106
+	NumFileClasses = 21
+	NumHTTPCodes   = 68
+	NumEncodings   = 12
+	NumServers     = 944
+	NumOSes        = 50
+	NumServices    = 183
+	NumTLDs        = 100
+)
+
+func padList(head []string, n int, prefix string) []string {
+	out := make([]string, 0, n)
+	out = append(out, head...)
+	for i := len(out); i < n; i++ {
+		out = append(out, fmt.Sprintf("%s-%03d", prefix, i))
+	}
+	return out[:n]
+}
+
+// Countries returns the country-code vocabulary (ISO-style head).
+func Countries() []string {
+	return padList([]string{
+		"US", "CN", "RU", "DE", "NL", "GB", "FR", "KR", "JP", "HK",
+		"SG", "IN", "BR", "CA", "UA", "IR", "TR", "VN", "TH", "MY",
+		"AE", "CZ", "RO", "BG", "LV", "LT", "EE", "PL", "IT", "ES",
+		"SE", "NO", "FI", "DK", "CH", "AT", "BE", "PT", "GR", "HU",
+		"KP", "TW", "ID", "PH", "AU", "NZ", "MX", "AR", "CL", "CO",
+		"ZA", "EG", "SA", "IL", "PK", "BD", "KZ", "BY", "MD", "GE",
+	}, NumCountries, "cc")
+}
+
+// Issuers returns the IP issuer (hosting provider) vocabulary.
+func Issuers() []string {
+	return padList([]string{
+		"hostkey", "ovh", "digitalocean", "choopa", "leaseweb", "alibaba",
+		"selectel", "hetzner", "linode", "vultr", "aws", "gcp", "azure",
+		"contabo", "m247", "datacamp", "kingservers", "timeweb", "regru",
+		"godaddy", "namecheap", "cloudflare", "akamai", "fastly",
+	}, NumIssuers, "issuer")
+}
+
+// FileTypes returns the hosted-file-type vocabulary.
+func FileTypes() []string {
+	return padList([]string{
+		"php", "html", "exe", "zip", "js", "doc", "docx", "pdf", "jsp",
+		"asp", "aspx", "rar", "7z", "dll", "hta", "lnk", "vbs", "ps1",
+		"sh", "py", "jar", "apk", "xls", "xlsx", "ppt", "rtf", "iso",
+		"img", "cab", "msi", "scr", "bat", "chm", "swf", "txt", "xml",
+		"json", "bin", "dat", "tmp", "gif", "png", "jpg", "css",
+	}, NumFileTypes, "ftype")
+}
+
+// FileClasses returns the coarse file-class vocabulary.
+func FileClasses() []string {
+	return padList([]string{
+		"script", "binary", "document", "archive", "webpage", "image",
+		"config", "shortcut", "installer", "media", "data", "certificate",
+	}, NumFileClasses, "fclass")
+}
+
+// HTTPCodes returns the HTTP response code vocabulary (as strings).
+func HTTPCodes() []string {
+	return padList([]string{
+		"200", "301", "302", "304", "400", "401", "403", "404", "405",
+		"410", "429", "500", "502", "503", "504", "520", "521", "522",
+	}, NumHTTPCodes, "code")
+}
+
+// Encodings returns the content-encoding vocabulary.
+func Encodings() []string {
+	return padList([]string{
+		"gzip", "identity", "deflate", "br", "compress", "zstd",
+	}, NumEncodings, "enc")
+}
+
+// Servers returns the web-server software vocabulary. The paper tracks
+// 944 distinct server strings because real Server headers carry version
+// suffixes; the filler entries model that long tail.
+func Servers() []string {
+	return padList([]string{
+		"nginx", "apache", "iis", "litespeed", "caddy", "lighttpd",
+		"tomcat", "jetty", "openresty", "cherokee", "gunicorn", "kestrel",
+		"cowboy", "envoy", "haproxy", "varnish", "traefik",
+	}, NumServers, "server")
+}
+
+// OSes returns the server operating-system vocabulary.
+func OSes() []string {
+	return padList([]string{
+		"linux", "ubuntu", "debian", "centos", "windows", "freebsd",
+		"rhel", "fedora", "alpine", "openbsd", "win2012", "win2016",
+		"win2019",
+	}, NumOSes, "os")
+}
+
+// ServiceNames returns the co-hosted network-service vocabulary.
+func ServiceNames() []string {
+	return padList([]string{
+		"ssh", "ftp", "rdp", "smtp", "dns", "telnet", "pop3", "imap",
+		"mysql", "postgres", "redis", "mongodb", "vnc", "smb", "snmp",
+		"ntp", "ldap", "sip",
+	}, NumServices, "svc")
+}
+
+// TLDs returns the top-level-domain vocabulary.
+func TLDs() []string {
+	return padList([]string{
+		"com", "net", "org", "info", "biz", "ru", "cn", "su", "kr", "jp",
+		"vn", "ir", "me", "cc", "top", "xyz", "club", "online", "site",
+		"space", "live", "shop", "asia", "io", "co", "us", "uk", "de",
+		"fr", "nl", "eu", "in", "br",
+	}, NumTLDs, "tld")
+}
