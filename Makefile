@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-kernels vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race is the concurrency gate for the parallel execution layer
+# (internal/par workers + internal/sparse/mat kernels): vet plus the full
+# suite under the race detector. The kernel equivalence tests double as
+# determinism checks here — any data race or nondeterministic partition
+# breaks their bit-identity assertions.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+bench-kernels:
+	$(GO) test -bench='BenchmarkMatMul|BenchmarkSpMM|BenchmarkLabelPropagationScale' -benchmem
+
+vet:
+	$(GO) vet ./...

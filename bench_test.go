@@ -12,6 +12,7 @@ package trail_test
 // `cmd/trail experiments` runs the full-fidelity versions.
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -19,7 +20,9 @@ import (
 	"trail/internal/eval"
 	"trail/internal/graph"
 	"trail/internal/labelprop"
+	"trail/internal/mat"
 	"trail/internal/osint"
+	"trail/internal/sparse"
 )
 
 var (
@@ -229,7 +232,7 @@ func BenchmarkLabelPropagationScale(b *testing.B) {
 	if err := tkg.Build(w.Pulses()); err != nil {
 		b.Fatal(err)
 	}
-	adj := tkg.G.Adjacency()
+	csr := tkg.G.CSR()
 	events := tkg.EventNodes()
 	seeds := make(map[graph.NodeID]int, len(events))
 	for _, ev := range events[:len(events)/2] {
@@ -238,9 +241,51 @@ func BenchmarkLabelPropagationScale(b *testing.B) {
 	queries := events[len(events)/2:]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		preds := labelprop.Attribute(adj, seeds, queries, 22, 4)
+		preds := labelprop.AttributeCSR(csr, seeds, queries, 22, 4)
 		b.ReportMetric(float64(len(preds)), "attributed")
 	}
+}
+
+// --- kernel microbenches (internal/sparse + internal/mat) --------------------
+
+// BenchmarkMatMul measures the dense GEMM hot path shared by every model
+// (layer forward/backward), at a shape typical of SAGE hidden layers on
+// the default world.
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := mat.RandNormal(rng, 4096, 64, 0, 1)
+	w := mat.RandNormal(rng, 64, 64, 0, 1)
+	dst := mat.New(4096, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MatMulInto(dst, a, w)
+	}
+	b.SetBytes(int64(8 * 4096 * 64))
+}
+
+// BenchmarkSpMM measures the sparse aggregation kernel on a graph of
+// roughly the default world's size and density (mean-normalised
+// neighbour aggregation over 64-dim features).
+func BenchmarkSpMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const n, edges = 20000, 80000
+	adj := make([][]graph.NodeID, n)
+	for e := 0; e < edges; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		adj[u] = append(adj[u], graph.NodeID(v))
+		adj[v] = append(adj[v], graph.NodeID(u))
+	}
+	s := sparse.FromAdj(adj).MeanNormalized()
+	x := mat.RandNormal(rng, n, 64, 0, 1)
+	dst := mat.New(n, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SpMM(dst, x)
+	}
+	b.ReportMetric(float64(s.NNZ()), "nnz")
 }
 
 // --- ablation benches (DESIGN.md §5) -----------------------------------------

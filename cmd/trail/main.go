@@ -168,8 +168,7 @@ func cmdAttribute(args []string) error {
 				}
 			}
 		}
-		adj := tkg.G.Adjacency()
-		pred := labelprop.Attribute(adj, seeds, []graph.NodeID{evID}, len(names), *layers)[0]
+		pred := labelprop.AttributeCSR(tkg.G.CSR(), seeds, []graph.NodeID{evID}, len(names), *layers)[0]
 		verdict := "UNATTRIBUTED"
 		if pred >= 0 {
 			verdict = names[pred]

@@ -75,12 +75,11 @@ func main() {
 	fmt.Printf("per-IOC RF mode vote:      %s (%d IOC votes)\n", nameOf(names, ml.Mode(votes)), len(votes))
 
 	// Method 2: label propagation (resource reuse only).
-	adj := tkg.G.Adjacency()
 	seeds := map[graph.NodeID]int{}
 	for _, ev := range events {
 		seeds[ev] = tkg.G.Node(ev).Label
 	}
-	lp := labelprop.Attribute(adj, seeds, []graph.NodeID{evID}, classes, 4)[0]
+	lp := labelprop.AttributeCSR(tkg.G.CSR(), seeds, []graph.NodeID{evID}, classes, 4)[0]
 	fmt.Printf("label propagation (4L):    %s\n", nameOf(names, lp))
 
 	// Method 3: GNN on the merged graph (encodings recomputed with the

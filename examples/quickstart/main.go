@@ -43,7 +43,7 @@ func main() {
 	// known limitation of label propagation (its GNN handles those).
 	events := tkg.EventNodes()
 	names := world.Resolver().Names()
-	adj := tkg.G.Adjacency()
+	csr := tkg.G.CSR() // one shared snapshot for every propagation below
 
 	shown := 0
 	for i := len(events) - 1; i >= 0 && shown < 5; i-- {
@@ -56,7 +56,7 @@ func main() {
 				seeds[ev] = tkg.G.Node(ev).Label
 			}
 		}
-		scores := labelprop.Propagate(adj, seeds, len(world.Roster()), 4)
+		scores := labelprop.PropagateCSR(csr, seeds, len(world.Roster()), 4)
 		dist := labelprop.Distribution(scores.Row(int(target)))
 
 		fmt.Printf("\nattributing event %s (ground truth %s)\n",

@@ -64,7 +64,7 @@ func (c *Context) lpAccuracy(tkg *core.TKG, layers int) float64 {
 		labels[i] = tkg.G.Node(ev).Label
 	}
 	folds := ml.StratifiedKFold(c.rng(600), labels, c.Opts.Folds)
-	adj := tkg.G.Adjacency()
+	csr := tkg.G.CSR()
 	var accs []float64
 	for _, test := range folds {
 		train := ml.Complement(len(events), test)
@@ -78,7 +78,7 @@ func (c *Context) lpAccuracy(tkg *core.TKG, layers int) float64 {
 			queries[i] = events[te]
 			truth[i] = labels[te]
 		}
-		pred := labelprop.Attribute(adj, seeds, queries, c.Classes, layers)
+		pred := labelprop.AttributeCSR(csr, seeds, queries, c.Classes, layers)
 		accs = append(accs, ml.Accuracy(truth, pred))
 	}
 	return ml.Summarize(accs).Mean

@@ -208,7 +208,7 @@ func RunZeroShotLP(ctx *Context, aptName string) (*ZeroShotResult, error) {
 	half := len(group) / 2
 	seedIdx, testIdx := group[:half], group[half:]
 
-	adj := ctx.TKG.G.Adjacency()
+	csr := ctx.TKG.G.CSR()
 	queries := make([]graph.NodeID, len(testIdx))
 	truth := make([]int, len(testIdx))
 	for i, gi := range testIdx {
@@ -226,8 +226,8 @@ func RunZeroShotLP(ctx *Context, aptName string) (*ZeroShotResult, error) {
 		seedsWith[events[si]] = labels[si]
 	}
 
-	predWith := labelprop.Attribute(adj, seedsWith, queries, ctx.Classes, 4)
-	predWithout := labelprop.Attribute(adj, seedsWithout, queries, ctx.Classes, 4)
+	predWith := labelprop.AttributeCSR(csr, seedsWith, queries, ctx.Classes, 4)
+	predWithout := labelprop.AttributeCSR(csr, seedsWithout, queries, ctx.Classes, 4)
 
 	return &ZeroShotResult{
 		APT:                    aptName,

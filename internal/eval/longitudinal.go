@@ -151,7 +151,7 @@ func RunCaseStudy(ctx *Context) (*CaseStudyResult, error) {
 	// Label propagation with every other event labelled.
 	seeds := visibleLabels(tkg.G)
 	delete(seeds, evID)
-	lpPred := labelprop.Attribute(adj, seeds, []graph.NodeID{evID}, ctx.Classes, 4)[0]
+	lpPred := labelprop.AttributeCSR(tkg.G.CSR(), seeds, []graph.NodeID{evID}, ctx.Classes, 4)[0]
 	res.LPPrediction = nameOf(ctx, lpPred)
 
 	// GNN on the merged graph: encodings recomputed with the frozen

@@ -96,7 +96,7 @@ func RunTableIV(ctx *Context, cfg TableIVConfig) (*TableIVResult, error) {
 		return nil, fmt.Errorf("eval: only %d events; need at least %d", len(events), ctx.Opts.Folds*2)
 	}
 	folds := ml.StratifiedKFold(ctx.rng(400), labels, ctx.Opts.Folds)
-	adj := ctx.TKG.G.Adjacency()
+	csr := ctx.TKG.G.CSR()
 
 	res := &TableIVResult{Events: len(events)}
 
@@ -132,7 +132,7 @@ func RunTableIV(ctx *Context, cfg TableIVConfig) (*TableIVResult, error) {
 				queries[i] = events[te]
 				truth[i] = labels[te]
 			}
-			pred := labelprop.Attribute(adj, seeds, queries, ctx.Classes, layers)
+			pred := labelprop.AttributeCSR(csr, seeds, queries, ctx.Classes, layers)
 			accs = append(accs, ml.Accuracy(truth, pred))
 			baccs = append(baccs, ml.BalancedAccuracy(truth, pred, ctx.Classes))
 		}

@@ -119,6 +119,7 @@ func BuildInput(g *graph.Graph, feats map[graph.NodeID][]float64, set *EncoderSe
 	n := g.NumNodes()
 	in := Input{
 		Adj:     g.Adjacency(),
+		CSR:     g.CSR(),
 		Enc:     set.EncodeGraph(g, feats),
 		IsEvent: make([]bool, n),
 		Labels:  make([]int, n),

@@ -7,6 +7,7 @@ import (
 
 	"trail/internal/graph"
 	"trail/internal/mat"
+	"trail/internal/sparse"
 )
 
 // ExplainerConfig tunes the GNNExplainer optimisation (Ying et al. 2019):
@@ -93,6 +94,19 @@ func (m *Model) Explain(in Input, visible map[graph.NodeID]int, target graph.Nod
 		}
 	}
 
+	// Freeze the subgraph structure as a CSR once; each epoch only
+	// re-weights its entries with the current mask. entryEdge maps CSR
+	// entry positions back to edge indexes.
+	sub := &maskedSub{csr: sparse.FromAdj(subAdj), adj: subAdj, adjEdge: adjEdge}
+	sub.entryEdge = make([]int, sub.csr.NNZ())
+	k := 0
+	for u := range subAdj {
+		for _, ei := range adjEdge[u] {
+			sub.entryEdge[k] = ei
+			k++
+		}
+	}
+
 	theta := make([]float64, len(edges))
 	for i := range theta {
 		theta[i] = 1 + rng.NormFloat64()*0.1 // start near "keep everything"
@@ -105,7 +119,7 @@ func (m *Model) Explain(in Input, visible map[graph.NodeID]int, target graph.Nod
 		for i, t := range theta {
 			w[i] = sigmoid(t)
 		}
-		probGrad, prob := m.maskedGrad(in, subAdj, adjEdge, w, visible, target, class)
+		probGrad, prob := m.maskedGrad(in, sub, w, visible, target, class)
 		_ = prob
 		// Total gradient: d(-log p)/dθ + regularisers.
 		for i := range theta {
@@ -157,12 +171,27 @@ func (m *Model) Explain(in Input, visible map[graph.NodeID]int, target graph.Nod
 	return exp
 }
 
+// maskedSub is the frozen L-hop subgraph the explainer optimises over:
+// its CSR structure (re-weighted each epoch), the adjacency lists and
+// per-position edge indexes for the edge-gradient reduction, and the map
+// from CSR entry position to edge index.
+type maskedSub struct {
+	csr       *sparse.Matrix
+	adj       [][]graph.NodeID
+	adjEdge   [][]int
+	entryEdge []int
+}
+
 // maskedGrad runs a forward pass with edge-weighted aggregation and
 // returns d(-log p_class(target))/dw per edge, plus the probability.
-func (m *Model) maskedGrad(in Input, subAdj [][]graph.NodeID, adjEdge [][]int, w []float64, visible map[graph.NodeID]int, target graph.NodeID, class int) ([]float64, float64) {
+func (m *Model) maskedGrad(in Input, sub *maskedSub, w []float64, visible map[graph.NodeID]int, target graph.NodeID, class int) ([]float64, float64) {
+	subAdj, adjEdge := sub.adj, sub.adjEdge
 	n := len(subAdj)
 
-	// Forward with weighted means. sumw[v] caches the normaliser.
+	// Forward with weighted means. sumw[v] caches the normaliser; the
+	// aggregation itself is the shared CSR kernel with the mask as entry
+	// values and 1/sumw as the row scale (rows below the epsilon stay
+	// zero, as in the loop nest this replaced).
 	h0 := in.Enc.Clone()
 	for ev, c := range visible {
 		if c >= 0 && c < m.classes {
@@ -177,23 +206,18 @@ func (m *Model) maskedGrad(in Input, subAdj [][]graph.NodeID, adjEdge [][]int, w
 			sumw[v] += w[ei]
 		}
 	}
-	weightedMean := func(h *mat.Matrix) *mat.Matrix {
-		out := mat.New(h.Rows, h.Cols)
-		for v := range subAdj {
-			if sumw[v] <= 1e-12 {
-				continue
-			}
-			dst := out.Row(v)
-			for k, nb := range subAdj[v] {
-				mat.Axpy(w[adjEdge[v][k]], h.Row(int(nb)), dst)
-			}
-			inv := 1 / sumw[v]
-			for j := range dst {
-				dst[j] *= inv
-			}
-		}
-		return out
+	val := make([]float64, len(sub.entryEdge))
+	for k, ei := range sub.entryEdge {
+		val[k] = w[ei]
 	}
+	scale := make([]float64, n)
+	for v, s := range sumw {
+		if s > 1e-12 {
+			scale[v] = 1 / s
+		}
+	}
+	wOp := sub.csr.WithValues(val, scale)
+	weightedMean := func(h *mat.Matrix) *mat.Matrix { return wOp.Mul(h) }
 
 	type layerCache struct {
 		hPrev, mean, out *mat.Matrix
@@ -281,20 +305,10 @@ func (m *Model) maskedGrad(in Input, subAdj [][]graph.NodeID, adjEdge [][]int, w
 			}
 		}
 		// Node gradients to the previous layer: weighted-mean transpose
-		// plus the self path.
+		// (the CSR adjoint kernel) plus the self path.
 		if li > 0 {
 			prev := mat.MatMulTransB(g, m.selfW[li].W)
-			for v := range subAdj {
-				if sumw[v] <= 1e-12 {
-					continue
-				}
-				inv := 1 / sumw[v]
-				src := gMean.Row(v)
-				for k, nb := range subAdj[v] {
-					mat.Axpy(w[adjEdge[v][k]]*inv, src, prev.Row(int(nb)))
-				}
-			}
-			g = prev
+			g = mat.AddInPlace(prev, wOp.MulTrans(gMean))
 		}
 	}
 	return edgeGrad, p

@@ -2,12 +2,12 @@ package gnn
 
 import (
 	"errors"
-	"math"
 	"math/rand"
 
 	"trail/internal/graph"
 	"trail/internal/mat"
 	"trail/internal/ml"
+	"trail/internal/sparse"
 )
 
 // GCN implements the graph convolutional network of the paper's Eq. 2
@@ -68,27 +68,12 @@ func (g *GCN) params() []*ml.Param {
 	return ps
 }
 
-// gcnNorm precomputes (deg+1)^{-1/2} for the self-loop-augmented graph.
-func gcnNorm(adj [][]graph.NodeID) []float64 {
-	norm := make([]float64, len(adj))
-	for v := range adj {
-		norm[v] = 1 / math.Sqrt(float64(len(adj[v])+1))
-	}
-	return norm
-}
-
-// gcnProp applies the symmetric propagation S = D^{-1/2} Ã D^{-1/2}.
-func gcnProp(adj [][]graph.NodeID, norm []float64, h *mat.Matrix) *mat.Matrix {
-	out := mat.New(h.Rows, h.Cols)
-	for v := range adj {
-		dst := out.Row(v)
-		// Self loop.
-		mat.Axpy(norm[v]*norm[v], h.Row(v), dst)
-		for _, n := range adj[v] {
-			mat.Axpy(norm[v]*norm[int(n)], h.Row(int(n)), dst)
-		}
-	}
-	return out
+// gcnOperator builds the propagation operator S = D^{-1/2} Ã D^{-1/2}
+// (Ã = A + I) as a CSR matrix from the input's shared adjacency
+// snapshot; forward and backward are then plain SpMM calls (the adjoint
+// of the symmetric S is S itself).
+func gcnOperator(in Input) *sparse.Matrix {
+	return inputCSR(in).SymNormalizedWithSelfLoops()
 }
 
 // TrainGCN fits a GCN with the same label-visibility protocol as the SAGE
@@ -103,7 +88,7 @@ func TrainGCN(in Input, trainEvents []graph.NodeID, cfg Config) (*GCN, error) {
 	}
 	rng := rand.New(rand.NewSource(g.Config.Seed + 31))
 	opt := ml.NewAdam(g.Config.LR, g.params())
-	norm := gcnNorm(in.Adj)
+	s := gcnOperator(in)
 
 	order := make([]int, len(trainEvents))
 	for i := range order {
@@ -126,7 +111,7 @@ func TrainGCN(in Input, trainEvents []graph.NodeID, cfg Config) (*GCN, error) {
 			if len(targets) == 0 {
 				continue
 			}
-			g.step(in, norm, visible, targets, opt)
+			g.step(in, s, visible, targets, opt)
 		}
 	}
 	return g, nil
@@ -138,7 +123,7 @@ type gcnActs struct {
 	out    *mat.Matrix
 }
 
-func (g *GCN) forward(in Input, norm []float64, visible map[graph.NodeID]int) *gcnActs {
+func (g *GCN) forward(in Input, s *sparse.Matrix, visible map[graph.NodeID]int) *gcnActs {
 	h := in.Enc.Clone()
 	for ev, c := range visible {
 		if c >= 0 && c < g.classes {
@@ -149,7 +134,7 @@ func (g *GCN) forward(in Input, norm []float64, visible map[graph.NodeID]int) *g
 	}
 	acts := &gcnActs{}
 	for li, layer := range g.layers {
-		prop := gcnProp(in.Adj, norm, h)
+		prop := s.Mul(h)
 		acts.inputs = append(acts.inputs, prop)
 		z := layer.forward(prop)
 		if li == len(g.layers)-1 {
@@ -165,8 +150,8 @@ func (g *GCN) forward(in Input, norm []float64, visible map[graph.NodeID]int) *g
 	return acts
 }
 
-func (g *GCN) step(in Input, norm []float64, visible map[graph.NodeID]int, targets []graph.NodeID, opt *ml.Adam) {
-	acts := g.forward(in, norm, visible)
+func (g *GCN) step(in Input, s *sparse.Matrix, visible map[graph.NodeID]int, targets []graph.NodeID, opt *ml.Adam) {
+	acts := g.forward(in, s, visible)
 	logits := acts.out
 
 	grad := mat.New(logits.Rows, logits.Cols)
@@ -189,7 +174,7 @@ func (g *GCN) step(in Input, norm []float64, visible map[graph.NodeID]int, targe
 		}
 		gr = g.layers[li].backward(acts.inputs[li], gr)
 		// Adjoint of the symmetric propagation is the propagation itself.
-		gr = gcnProp(in.Adj, norm, gr)
+		gr = s.Mul(gr)
 	}
 	for ev, c := range visible {
 		if c >= 0 && c < g.classes {
@@ -203,8 +188,7 @@ func (g *GCN) step(in Input, norm []float64, visible map[graph.NodeID]int, targe
 
 // Predict returns the argmax attribution per query event.
 func (g *GCN) Predict(in Input, visible map[graph.NodeID]int, queries []graph.NodeID) []int {
-	norm := gcnNorm(in.Adj)
-	acts := g.forward(in, norm, visible)
+	acts := g.forward(in, gcnOperator(in), visible)
 	out := make([]int, len(queries))
 	for i, q := range queries {
 		out[i] = mat.Argmax(acts.out.Row(int(q)))

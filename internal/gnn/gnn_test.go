@@ -218,11 +218,11 @@ func TestNeighborMeanTransposeIsAdjoint(t *testing.T) {
 		u, v := graph.NodeID(rng.Intn(6)), graph.NodeID(rng.Intn(6))
 		g.AddEdge(u, v, graph.EdgeInReport)
 	}
-	adj := g.Adjacency()
+	mean := meanOperator(Input{Adj: g.Adjacency(), CSR: g.CSR()})
 	x := mat.RandNormal(rng, 6, 4, 0, 1)
 	y := mat.RandNormal(rng, 6, 4, 0, 1)
-	ax := neighborMean(adj, x)
-	aty := neighborMeanTranspose(adj, y)
+	ax := mean.Mul(x)
+	aty := mean.MulTrans(y)
 	lhs := mat.Dot(ax.Data, y.Data)
 	rhs := mat.Dot(x.Data, aty.Data)
 	if math.Abs(lhs-rhs) > 1e-9 {

@@ -8,12 +8,18 @@ import (
 	"trail/internal/graph"
 	"trail/internal/mat"
 	"trail/internal/ml"
+	"trail/internal/sparse"
 )
 
 // Input is the full-graph tensor view the GraphSAGE model consumes.
 type Input struct {
-	// Adj is an adjacency snapshot (graph.Graph.Adjacency).
+	// Adj is an adjacency snapshot (graph.Graph.Adjacency), still used
+	// for neighbour sampling and the explainer's subgraph extraction.
 	Adj [][]graph.NodeID
+	// CSR is the same adjacency as a shared CSR snapshot
+	// (graph.Graph.CSR); the message-passing kernels normalise and
+	// multiply it. Optional: when nil it is rebuilt from Adj on demand.
+	CSR *sparse.Matrix
 	// Enc holds the autoencoded IOC features, one row per node
 	// (zero rows for events and ASNs, which carry no engineered
 	// features).
@@ -48,8 +54,8 @@ type Config struct {
 }
 
 // DefaultConfig returns laptop-scale defaults (paper values: Hidden 512,
-// LR 1e-4).
-func DefaultConfig(layers, classes int) Config {
+// LR 1e-4). The class count is supplied separately to NewModel/Train.
+func DefaultConfig(layers int) Config {
 	return Config{
 		Layers:       layers,
 		Hidden:       64,
@@ -175,6 +181,9 @@ func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int) error {
 	}
 	rng := rand.New(rand.NewSource(m.Config.Seed + 17))
 	opt := ml.NewAdam(m.Config.LR, m.params())
+	// One mean-aggregation operator (and, lazily, its adjoint) is shared
+	// across all epochs when no sampling is configured.
+	mean := meanOperator(in)
 
 	order := make([]int, len(trainEvents))
 	for i := range order {
@@ -198,19 +207,21 @@ func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int) error {
 			if len(targets) == 0 {
 				continue
 			}
-			adj := in.Adj
+			agg := mean
 			if m.Config.MaxNeighbors > 0 {
-				adj = sampleAdj(rng, in.Adj, m.Config.MaxNeighbors)
+				agg = sparse.FromAdj(sampleAdj(rng, in.Adj, m.Config.MaxNeighbors)).MeanNormalized()
 			}
-			m.step(in, adj, visible, targets, opt)
+			m.step(in, agg, visible, targets, opt)
 		}
 	}
 	return nil
 }
 
-// step runs one full-graph forward/backward pass and an optimiser update.
-func (m *Model) step(in Input, adj [][]graph.NodeID, visible map[graph.NodeID]int, targets []graph.NodeID, opt *ml.Adam) {
-	acts := m.forward(in, adj, visible)
+// step runs one full-graph forward/backward pass and an optimiser
+// update. agg is the mean-aggregation operator for this pass (the shared
+// full-graph operator, or a freshly sampled one).
+func (m *Model) step(in Input, agg *sparse.Matrix, visible map[graph.NodeID]int, targets []graph.NodeID, opt *ml.Adam) {
+	acts := m.forward(in, agg, visible)
 	logits := acts.h[len(acts.h)-1]
 
 	// Cross-entropy gradient on target rows only.
@@ -227,7 +238,7 @@ func (m *Model) step(in Input, adj [][]graph.NodeID, visible map[graph.NodeID]in
 			dst[j] *= inv
 		}
 	}
-	m.backward(in, adj, acts, visible, grad)
+	m.backward(in, agg, acts, visible, grad)
 	opt.Step()
 }
 
@@ -243,8 +254,8 @@ type activations struct {
 
 // forward computes all node representations; visible supplies event
 // labels injected as input features.
-func (m *Model) forward(in Input, adj [][]graph.NodeID, visible map[graph.NodeID]int) *activations {
-	n := len(adj)
+func (m *Model) forward(in Input, agg *sparse.Matrix, visible map[graph.NodeID]int) *activations {
+	n := agg.Rows
 	acts := &activations{}
 	h0 := in.Enc.Clone()
 	for ev, c := range visible {
@@ -260,7 +271,7 @@ func (m *Model) forward(in Input, adj [][]graph.NodeID, visible map[graph.NodeID
 
 	cur := h0
 	for li, layer := range m.layers {
-		mean := neighborMean(adj, cur)
+		mean := agg.Mul(cur)
 		z := layer.forward(mean)
 		mat.AddInPlace(z, mat.MatMul(cur, m.selfW[li].W))
 		acts.means = append(acts.means, mean)
@@ -298,7 +309,7 @@ func (m *Model) forward(in Input, adj [][]graph.NodeID, visible map[graph.NodeID
 
 // backward propagates grad (w.r.t. the logits) through the network,
 // accumulating parameter gradients.
-func (m *Model) backward(in Input, adj [][]graph.NodeID, acts *activations, visible map[graph.NodeID]int, grad *mat.Matrix) {
+func (m *Model) backward(in Input, agg *sparse.Matrix, acts *activations, visible map[graph.NodeID]int, grad *mat.Matrix) {
 	layerIn := func(li int) *mat.Matrix {
 		if li == 0 {
 			return acts.h0
@@ -332,9 +343,10 @@ func (m *Model) backward(in Input, adj [][]graph.NodeID, acts *activations, visi
 		in := layerIn(li)
 		mat.AddInPlace(m.selfW[li].G, mat.MatMulTransA(in, g))
 		gSelf := mat.MatMulTransB(g, m.selfW[li].W)
-		// Aggregation path.
+		// Aggregation path: backward through the mean is the transpose
+		// kernel (cached inside the operator after the first call).
 		gMean := m.layers[li].backward(acts.means[li], g)
-		g = mat.AddInPlace(neighborMeanTranspose(adj, gMean), gSelf)
+		g = mat.AddInPlace(agg.MulTrans(gMean), gSelf)
 	}
 	// Gradient into the label embedding via visible event rows of h0.
 	for ev, c := range visible {
@@ -346,41 +358,22 @@ func (m *Model) backward(in Input, adj [][]graph.NodeID, acts *activations, visi
 	}
 }
 
-// neighborMean computes Eq. 3's aggregation: out[v] = mean of h[n] over
-// neighbours n of v (zero for isolated nodes).
-func neighborMean(adj [][]graph.NodeID, h *mat.Matrix) *mat.Matrix {
-	out := mat.New(h.Rows, h.Cols)
-	for v := range adj {
-		if len(adj[v]) == 0 {
-			continue
-		}
-		dst := out.Row(v)
-		for _, n := range adj[v] {
-			mat.Axpy(1, h.Row(int(n)), dst)
-		}
-		inv := 1 / float64(len(adj[v]))
-		for j := range dst {
-			dst[j] *= inv
-		}
+// inputCSR returns the input's shared adjacency CSR, rebuilding it from
+// the adjacency lists when the caller did not supply one (tests, ad-hoc
+// inputs). BuildInput always sets it from graph.Graph.CSR().
+func inputCSR(in Input) *sparse.Matrix {
+	if in.CSR != nil {
+		return in.CSR
 	}
-	return out
+	return sparse.FromAdj(in.Adj)
 }
 
-// neighborMeanTranspose back-propagates through neighborMean:
-// out[n] += g[v]/deg(v) for every edge (v, n).
-func neighborMeanTranspose(adj [][]graph.NodeID, g *mat.Matrix) *mat.Matrix {
-	out := mat.New(g.Rows, g.Cols)
-	for v := range adj {
-		if len(adj[v]) == 0 {
-			continue
-		}
-		inv := 1 / float64(len(adj[v]))
-		src := g.Row(v)
-		for _, n := range adj[v] {
-			mat.Axpy(inv, src, out.Row(int(n)))
-		}
-	}
-	return out
+// meanOperator builds Eq. 3's neighbour-mean aggregator from the shared
+// CSR snapshot: out[v] = mean of h[n] over neighbours n of v (zero for
+// isolated nodes). Its adjoint — the backward scatter
+// out[n] += g[v]/deg(v) — is the same operator's transpose kernel.
+func meanOperator(in Input) *sparse.Matrix {
+	return inputCSR(in).MeanNormalized()
 }
 
 // sampleAdj caps each node's neighbour list at k by sampling without
@@ -408,7 +401,7 @@ func sampleAdj(rng *rand.Rand, adj [][]graph.NodeID, k int) [][]graph.NodeID {
 // PredictProba returns attribution distributions for the query events,
 // with the given event labels visible as input features.
 func (m *Model) PredictProba(in Input, visible map[graph.NodeID]int, queries []graph.NodeID) *mat.Matrix {
-	acts := m.forward(in, in.Adj, visible)
+	acts := m.forward(in, meanOperator(in), visible)
 	logits := acts.h[len(acts.h)-1]
 	out := mat.New(len(queries), m.classes)
 	for i, q := range queries {

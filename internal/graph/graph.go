@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"trail/internal/sparse"
 )
 
 // NodeID identifies a node within one Graph. IDs are dense: they index
@@ -147,6 +149,10 @@ type Graph struct {
 	kindCount [numKinds]int
 	// typeCount caches edge counts per type.
 	typeCount [numEdgeTypes]int
+	// csr caches the CSR snapshot returned by CSR(); invalidated by any
+	// mutation (Upsert, AddEdge) so repeated analytics runs share one
+	// frozen copy instead of re-copying adjacency lists per call.
+	csr *sparse.Matrix
 }
 
 type nodeRef struct {
@@ -207,6 +213,7 @@ func (g *Graph) upsertLocked(kind NodeKind, key string) (NodeID, bool) {
 	g.out = append(g.out, nil)
 	g.index[ref] = id
 	g.kindCount[kind]++
+	g.csr = nil
 	return id, true
 }
 
@@ -263,6 +270,7 @@ func (g *Graph) AddEdge(u, v NodeID, t EdgeType) bool {
 	g.out[v] = append(g.out[v], false)
 	g.edgeCount++
 	g.typeCount[t]++
+	g.csr = nil
 	return true
 }
 
@@ -352,6 +360,42 @@ func (g *Graph) Adjacency() [][]NodeID {
 		out[i] = row
 	}
 	return out
+}
+
+// CSR returns the undirected adjacency as an unweighted CSR matrix, the
+// shared handoff to the sparse message-passing engine (label
+// propagation, GCN, GraphSAGE all normalise and multiply this one
+// snapshot). Neighbour order matches the adjacency lists. The snapshot
+// is cached and invalidated on mutation, so repeated calls between
+// mutations return the same frozen matrix at zero cost; callers must
+// treat it as read-only.
+func (g *Graph) CSR() *sparse.Matrix {
+	g.mu.RLock()
+	c := g.csr
+	g.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.csr != nil {
+		return g.csr
+	}
+	n := len(g.adj)
+	rowPtr := make([]int, n+1)
+	for i, hes := range g.adj {
+		rowPtr[i+1] = rowPtr[i] + len(hes)
+	}
+	colIdx := make([]int32, rowPtr[n])
+	k := 0
+	for _, hes := range g.adj {
+		for _, he := range hes {
+			colIdx[k] = int32(he.To)
+			k++
+		}
+	}
+	g.csr = sparse.New(n, n, rowPtr, colIdx, nil)
+	return g.csr
 }
 
 // SortedNeighborKeys returns the keys of id's neighbours sorted

@@ -287,3 +287,37 @@ func TestComponentSizesSumToNodes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCSRMatchesAdjacencyAndCaches(t *testing.T) {
+	g := buildSmall(t)
+	adj := g.Adjacency()
+	csr := g.CSR()
+	if csr.Rows != len(adj) || csr.Cols != len(adj) {
+		t.Fatalf("CSR shape %dx%d, want %d", csr.Rows, csr.Cols, len(adj))
+	}
+	for u := range adj {
+		row := csr.ColIdx[csr.RowPtr[u]:csr.RowPtr[u+1]]
+		if len(row) != len(adj[u]) {
+			t.Fatalf("node %d: CSR row has %d entries, adjacency %d", u, len(row), len(adj[u]))
+		}
+		for i, v := range adj[u] {
+			if NodeID(row[i]) != v {
+				t.Fatalf("node %d entry %d: CSR %d vs adjacency %d (order must match)", u, i, row[i], v)
+			}
+		}
+	}
+	if g.CSR() != csr {
+		t.Fatal("CSR not cached between mutations")
+	}
+	// Mutations must invalidate the snapshot.
+	u, _ := g.Lookup(KindIP, "1.1.1.1")
+	d, _ := g.Upsert(KindDomain, "csr-invalidate.test")
+	g.AddEdge(u, d, EdgeARecord)
+	csr2 := g.CSR()
+	if csr2 == csr {
+		t.Fatal("CSR cache not invalidated by mutation")
+	}
+	if csr2.Rows != g.NumNodes() || csr2.NNZ() != csr.NNZ()+2 {
+		t.Fatalf("stale CSR after mutation: %d rows nnz %d", csr2.Rows, csr2.NNZ())
+	}
+}

@@ -12,10 +12,9 @@
 package labelprop
 
 import (
-	"math"
-
 	"trail/internal/graph"
 	"trail/internal/mat"
+	"trail/internal/sparse"
 )
 
 // Propagate runs `layers` iterations of Equation 1 over an adjacency
@@ -26,8 +25,20 @@ import (
 // other hop count); a node reached at hop h first contributes at
 // iteration h, so LP-kL still only sees k-hop resource reuse. seeds maps
 // labelled nodes to class indices in [0, classes).
+//
+// Propagate converts the adjacency to CSR on every call; callers that
+// already hold a graph should use PropagateCSR with graph.Graph.CSR() to
+// share one snapshot across runs.
 func Propagate(adj [][]graph.NodeID, seeds map[graph.NodeID]int, classes, layers int) *mat.Matrix {
-	n := len(adj)
+	return PropagateCSR(sparse.FromAdj(adj), seeds, classes, layers)
+}
+
+// PropagateCSR is Propagate over an unweighted adjacency CSR (as
+// returned by graph.Graph.CSR()): each layer is one SpMM against the
+// symmetrically normalised operator D^{-1/2} A D^{-1/2}.
+func PropagateCSR(a *sparse.Matrix, seeds map[graph.NodeID]int, classes, layers int) *mat.Matrix {
+	n := a.Rows
+	s := a.SymNormalized()
 	f := mat.New(n, classes)
 	for id, c := range seeds {
 		if c >= 0 && c < classes {
@@ -35,30 +46,9 @@ func Propagate(adj [][]graph.NodeID, seeds map[graph.NodeID]int, classes, layers
 		}
 	}
 	acc := mat.New(n, classes)
-	// Precompute D^{-1/2}.
-	invSqrtDeg := make([]float64, n)
-	for u := range adj {
-		if d := len(adj[u]); d > 0 {
-			invSqrtDeg[u] = 1 / math.Sqrt(float64(d))
-		}
-	}
 	next := mat.New(n, classes)
 	for l := 0; l < layers; l++ {
-		next.Zero()
-		for u := range adj {
-			if len(adj[u]) == 0 {
-				continue
-			}
-			dst := next.Row(u)
-			wu := invSqrtDeg[u]
-			for _, v := range adj[u] {
-				src := f.Row(int(v))
-				w := wu * invSqrtDeg[v]
-				for c := 0; c < classes; c++ {
-					dst[c] += w * src[c]
-				}
-			}
-		}
+		s.SpMM(next, f)
 		f, next = next, f
 		mat.AddInPlace(acc, f)
 	}
@@ -107,5 +97,11 @@ func Predict(f *mat.Matrix, queries []graph.NodeID) []int {
 // masked events.
 func Attribute(adj [][]graph.NodeID, seeds map[graph.NodeID]int, queries []graph.NodeID, classes, layers int) []int {
 	f := Propagate(adj, seeds, classes, layers)
+	return Predict(f, queries)
+}
+
+// AttributeCSR is Attribute over a shared CSR snapshot.
+func AttributeCSR(a *sparse.Matrix, seeds map[graph.NodeID]int, queries []graph.NodeID, classes, layers int) []int {
+	f := PropagateCSR(a, seeds, classes, layers)
 	return Predict(f, queries)
 }

@@ -1,11 +1,14 @@
 package labelprop
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 
 	"trail/internal/graph"
 	"trail/internal/mat"
+	"trail/internal/par"
 )
 
 // chain builds a path graph 0-1-2-...-n-1 and returns its adjacency.
@@ -114,6 +117,83 @@ func TestAttributeEndToEnd(t *testing.T) {
 	for i, p := range preds {
 		if p != 1 {
 			t.Fatalf("query %d predicted %d", i, p)
+		}
+	}
+}
+
+// referencePropagate is the pre-refactor adjacency-list implementation
+// of Eq. 1, kept verbatim as the equivalence oracle for the CSR path.
+func referencePropagate(adj [][]graph.NodeID, seeds map[graph.NodeID]int, classes, layers int) *mat.Matrix {
+	n := len(adj)
+	f := mat.New(n, classes)
+	for id, c := range seeds {
+		if c >= 0 && c < classes {
+			f.Set(int(id), c, 1)
+		}
+	}
+	acc := mat.New(n, classes)
+	invSqrtDeg := make([]float64, n)
+	for u := range adj {
+		if d := len(adj[u]); d > 0 {
+			invSqrtDeg[u] = 1 / math.Sqrt(float64(d))
+		}
+	}
+	next := mat.New(n, classes)
+	for l := 0; l < layers; l++ {
+		next.Zero()
+		for u := range adj {
+			if len(adj[u]) == 0 {
+				continue
+			}
+			dst := next.Row(u)
+			wu := invSqrtDeg[u]
+			for _, v := range adj[u] {
+				src := f.Row(int(v))
+				w := wu * invSqrtDeg[v]
+				for c := 0; c < classes; c++ {
+					dst[c] += w * src[c]
+				}
+			}
+		}
+		f, next = next, f
+		mat.AddInPlace(acc, f)
+	}
+	return acc
+}
+
+// TestPropagateMatchesReferenceBitIdentical checks the CSR kernel path
+// against the pre-refactor loops, bit for bit, serial and parallel.
+func TestPropagateMatchesReferenceBitIdentical(t *testing.T) {
+	g := graph.New()
+	const n = 300
+	for i := 0; i < n; i++ {
+		g.Upsert(graph.KindEvent, fmt.Sprintf("ev%d", i))
+	}
+	rng := rand.New(rand.NewSource(11))
+	for e := 0; e < 900; e++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		g.AddEdge(u, v, graph.EdgeInReport)
+	}
+	adj := g.Adjacency()
+	seeds := map[graph.NodeID]int{}
+	for i := 0; i < 40; i++ {
+		seeds[graph.NodeID(rng.Intn(n))] = rng.Intn(5)
+	}
+	want := referencePropagate(adj, seeds, 5, 4)
+	for _, workers := range []int{1, 8} {
+		prev := par.SetWorkers(workers)
+		got := Propagate(adj, seeds, 5, 4)
+		fromCSR := PropagateCSR(g.CSR(), seeds, 5, 4)
+		par.SetWorkers(prev)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("workers=%d: Propagate differs from reference at %d: %v vs %v",
+					workers, i, got.Data[i], want.Data[i])
+			}
+			if fromCSR.Data[i] != want.Data[i] {
+				t.Fatalf("workers=%d: PropagateCSR differs from reference at %d: %v vs %v",
+					workers, i, fromCSR.Data[i], want.Data[i])
+			}
 		}
 	}
 }

@@ -13,7 +13,41 @@ package mat
 import (
 	"fmt"
 	"math"
+
+	"trail/internal/par"
 )
+
+// The hot kernels (MatMulInto, MatMulTransA, MatMulTransB,
+// L2NormalizeRows, Apply) run their row loops through par.For above a
+// work threshold and serially below it, so small eval-sized matrices
+// never pay goroutine handoff. Blocks partition output rows, each row is
+// accumulated in the same order as the serial loop, and no floats are
+// shared across blocks — results are bit-identical at any parallelism
+// (see internal/par's determinism contract and the tests in
+// par_equiv_test.go).
+const (
+	// minParFlops is the total-work floor below which kernels stay serial.
+	minParFlops = 1 << 16
+	// grainFlops is the approximate per-block work handed to the pool.
+	grainFlops = 1 << 14
+)
+
+// parRows runs fn over [0, n) output rows, parallelising only when the
+// total work n*perRow crosses minParFlops.
+func parRows(n, perRow int, fn func(lo, hi int)) {
+	if perRow < 1 {
+		perRow = 1
+	}
+	if n*perRow < minParFlops {
+		fn(0, n)
+		return
+	}
+	grain := grainFlops / perRow
+	if grain < 1 {
+		grain = 1
+	}
+	par.For(n, grain, fn)
+}
 
 // Matrix is a dense, row-major matrix of float64 values. The zero value is
 // an empty 0x0 matrix. Matrix values share backing storage when copied;
@@ -124,22 +158,26 @@ func MatMulInto(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("mat: MatMulInto %dx%d = %dx%d * %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	dst.Zero()
 	// ikj loop order: streams through b and dst rows sequentially, which is
 	// substantially faster than the naive ijk order for row-major data.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
+	parRows(a.Rows, a.Cols*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := range drow {
+				drow[j] = 0
 			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				drow[j] += av * bv
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
 // MatMulTransB returns a * bᵀ without materialising the transpose.
@@ -148,13 +186,15 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("mat: MatMulTransB %dx%d * (%dx%d)T", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			orow[j] = Dot(arow, b.Row(j))
+	parRows(a.Rows, b.Rows*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				orow[j] = Dot(arow, b.Row(j))
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -164,19 +204,24 @@ func MatMulTransA(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("mat: MatMulTransA (%dx%d)T * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
+	// Blocks own output rows i (columns of a); the k-accumulation order
+	// per output element matches the serial loop exactly.
+	parRows(a.Cols, a.Rows*b.Cols, func(lo, hi int) {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.Row(i)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -244,9 +289,11 @@ func (m *Matrix) AddRowVector(v []float64) *Matrix {
 
 // Apply replaces every element x with f(x) in place and returns m.
 func (m *Matrix) Apply(f func(float64) float64) *Matrix {
-	for i, v := range m.Data {
-		m.Data[i] = f(v)
-	}
+	parRows(len(m.Data), 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.Data[i] = f(m.Data[i])
+		}
+	})
 	return m
 }
 
@@ -277,16 +324,18 @@ func (m *Matrix) ColMeans() []float64 {
 // L2NormalizeRows rescales each row to unit L2 norm in place and returns m.
 // Zero rows are left untouched.
 func (m *Matrix) L2NormalizeRows() *Matrix {
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		n := Norm2(row)
-		if n > 0 {
-			inv := 1 / n
-			for j := range row {
-				row[j] *= inv
+	parRows(m.Rows, 2*m.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			n := Norm2(row)
+			if n > 0 {
+				inv := 1 / n
+				for j := range row {
+					row[j] *= inv
+				}
 			}
 		}
-	}
+	})
 	return m
 }
 

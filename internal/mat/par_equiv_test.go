@@ -1,0 +1,109 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trail/internal/par"
+)
+
+// runBoth evaluates f once fully serial and once with 8 workers and
+// returns both results, for bit-identity checks on the parallel kernels.
+func runBoth(f func() *Matrix) (serial, parallel *Matrix) {
+	prev := par.SetWorkers(1)
+	serial = f()
+	par.SetWorkers(8)
+	parallel = f()
+	par.SetWorkers(prev)
+	return serial, parallel
+}
+
+func assertBitIdentical(t *testing.T, name string, serial, parallel *Matrix) {
+	t.Helper()
+	if serial.Rows != parallel.Rows || serial.Cols != parallel.Cols {
+		t.Fatalf("%s: shape mismatch", name)
+	}
+	for i := range serial.Data {
+		if serial.Data[i] != parallel.Data[i] {
+			t.Fatalf("%s: serial and parallel differ at %d: %v vs %v",
+				name, i, serial.Data[i], parallel.Data[i])
+		}
+	}
+}
+
+// TestDenseKernelsSerialParallelBitIdentical pins the determinism
+// contract for every parallelised dense kernel: identical bits at any
+// worker count, on shapes large enough to cross the parallel threshold.
+func TestDenseKernelsSerialParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := RandNormal(rng, 120, 90, 0, 1)
+	b := RandNormal(rng, 90, 110, 0, 1)
+	c := RandNormal(rng, 120, 110, 0, 1)
+
+	s, p := runBoth(func() *Matrix { return MatMul(a, b) })
+	assertBitIdentical(t, "MatMulInto", s, p)
+
+	s, p = runBoth(func() *Matrix { return MatMulTransA(a, c) })
+	assertBitIdentical(t, "MatMulTransA", s, p)
+
+	s, p = runBoth(func() *Matrix { return MatMulTransB(a, a) })
+	assertBitIdentical(t, "MatMulTransB", s, p)
+
+	s, p = runBoth(func() *Matrix { return c.Clone().L2NormalizeRows() })
+	assertBitIdentical(t, "L2NormalizeRows", s, p)
+
+	s, p = runBoth(func() *Matrix {
+		return c.Clone().Apply(func(x float64) float64 { return math.Tanh(x) })
+	})
+	assertBitIdentical(t, "Apply", s, p)
+}
+
+// TestParallelKernelsMatchReferenceLoops keeps the pre-refactor serial
+// loop nests as references and checks the parallel kernels reproduce
+// them bit for bit.
+func TestParallelKernelsMatchReferenceLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := RandNormal(rng, 70, 130, 0, 1)
+	b := RandNormal(rng, 130, 80, 0, 1)
+
+	refMatMul := func(a, b *Matrix) *Matrix {
+		out := New(a.Rows, b.Cols)
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Row(i)
+			drow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+		return out
+	}
+	refTransA := func(a, b *Matrix) *Matrix {
+		out := New(a.Cols, b.Cols)
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := out.Row(i)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+		return out
+	}
+
+	prev := par.SetWorkers(8)
+	defer par.SetWorkers(prev)
+	assertBitIdentical(t, "MatMul vs reference", refMatMul(a, b), MatMul(a, b))
+	assertBitIdentical(t, "MatMulTransA vs reference", refTransA(a, refMatMul(a, b)), MatMulTransA(a, refMatMul(a, b)))
+}

@@ -1,0 +1,158 @@
+// Package par provides the bounded worker pool behind every parallel
+// kernel in this repository (dense mat kernels, sparse CSR kernels).
+//
+// The central primitive is For(n, grain, fn): a row-partitioned parallel
+// for-loop with a determinism contract. The partition of [0, n) into
+// contiguous blocks depends only on n and grain — never on the worker
+// count, pool load, or scheduling — so a kernel that writes disjoint row
+// ranges and accumulates within a row in a fixed order produces
+// bit-identical results whether it runs on one goroutine or sixteen.
+// Kernels must therefore never accumulate across blocks with atomics or
+// locks; each block owns its output rows outright.
+//
+// The pool is lazily started, sized to GOMAXPROCS, and shared by all
+// callers. Helpers are recruited with a non-blocking handoff: if every
+// worker is busy (including when For is called from inside another For
+// block), the calling goroutine simply executes the remaining blocks
+// itself. The caller always participates, so nested or concurrent use
+// cannot deadlock and parallelism stays bounded at the pool size.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	confMu  sync.Mutex
+	workers int32 // configured parallelism; see SetWorkers
+
+	poolOnce sync.Once
+	jobs     chan *job
+)
+
+func init() {
+	atomic.StoreInt32(&workers, int32(runtime.GOMAXPROCS(0)))
+}
+
+// Workers returns the configured parallelism level: the maximum number
+// of goroutines (including the caller) that execute one For call.
+func Workers() int {
+	return int(atomic.LoadInt32(&workers))
+}
+
+// SetWorkers sets the parallelism level and returns the previous value.
+// Values below 1 are clamped to 1 (fully serial). It exists for tests
+// and benchmarks that compare serial and parallel execution; results are
+// bit-identical either way, by the package's determinism contract.
+func SetWorkers(n int) (prev int) {
+	if n < 1 {
+		n = 1
+	}
+	confMu.Lock()
+	defer confMu.Unlock()
+	prev = int(atomic.LoadInt32(&workers))
+	atomic.StoreInt32(&workers, int32(n))
+	return prev
+}
+
+// job is one For invocation: a fixed block partition drained through an
+// atomic cursor by the caller and any recruited helpers.
+type job struct {
+	fn     func(lo, hi int)
+	n      int
+	grain  int
+	blocks int
+	next   atomic.Int64
+	wg     sync.WaitGroup // one count per block
+}
+
+// run drains blocks until the cursor passes the end. Each block is
+// executed exactly once, by whichever goroutine claimed it.
+func (j *job) run() {
+	for {
+		b := int(j.next.Add(1)) - 1
+		if b >= j.blocks {
+			return
+		}
+		lo := b * j.grain
+		hi := lo + j.grain
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(lo, hi)
+		j.wg.Done()
+	}
+}
+
+// ensurePool starts the persistent workers on first use. The pool holds
+// GOMAXPROCS-1 goroutines; the caller of For is always the final worker.
+func ensurePool() {
+	poolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0) - 1
+		if n < 1 {
+			n = 1
+		}
+		jobs = make(chan *job)
+		for i := 0; i < n; i++ {
+			go func() {
+				for j := range jobs {
+					j.run()
+				}
+			}()
+		}
+	})
+}
+
+// For splits [0, n) into ceil(n/grain) contiguous blocks of `grain` rows
+// (the last block may be short) and calls fn(lo, hi) exactly once per
+// block, using up to Workers() goroutines. The partition depends only on
+// n and grain, so any computation whose blocks write disjoint outputs is
+// bit-identical between serial and parallel runs. fn must not panic: a
+// panic on a helper goroutine cannot be recovered by the caller.
+//
+// For returns after every block has completed. It is safe to call For
+// from inside an fn block (the inner call runs serially or recruits idle
+// workers; the calling goroutine always makes progress itself).
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	blocks := (n + grain - 1) / grain
+	w := Workers()
+	if w <= 1 || blocks <= 1 {
+		// Serial path: walk the identical block partition in order, so
+		// fn observes the same (lo, hi) ranges it would in parallel.
+		for lo := 0; lo < n; lo += grain {
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+	j := &job{fn: fn, n: n, grain: grain, blocks: blocks}
+	j.wg.Add(blocks)
+	helpers := w - 1
+	if blocks-1 < helpers {
+		helpers = blocks - 1
+	}
+	ensurePool()
+recruit:
+	for h := 0; h < helpers; h++ {
+		select {
+		case jobs <- j:
+		default:
+			// All workers are busy; stop recruiting — the caller
+			// executes whatever is left.
+			break recruit
+		}
+	}
+	j.run()
+	j.wg.Wait()
+}

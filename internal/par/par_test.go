@@ -1,0 +1,91 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversEveryIndexOnce checks the core contract at several worker
+// counts: every index in [0, n) is visited exactly once, regardless of
+// parallelism.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 9} {
+		prev := SetWorkers(w)
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			for _, grain := range []int{0, 1, 3, 64, 2000} {
+				counts := make([]int32, n)
+				For(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("workers=%d n=%d grain=%d: bad block [%d,%d)", w, n, grain, lo, hi)
+						return
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&counts[i], 1)
+					}
+				})
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times", w, n, grain, i, c)
+					}
+				}
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+// TestForPartitionIsFixed checks the determinism contract: the block
+// boundaries observed by fn depend only on n and grain, not on the
+// worker count.
+func TestForPartitionIsFixed(t *testing.T) {
+	const n, grain = 103, 10
+	blockset := func(w int) map[[2]int]bool {
+		prev := SetWorkers(w)
+		defer SetWorkers(prev)
+		blocks := make(chan [2]int, n)
+		For(n, grain, func(lo, hi int) { blocks <- [2]int{lo, hi} })
+		close(blocks)
+		set := make(map[[2]int]bool)
+		for b := range blocks {
+			set[b] = true
+		}
+		return set
+	}
+	serial := blockset(1)
+	parallel := blockset(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("block count differs: serial %d vs parallel %d", len(serial), len(parallel))
+	}
+	for b := range serial {
+		if !parallel[b] {
+			t.Fatalf("block %v present serially but not in parallel", b)
+		}
+	}
+}
+
+// TestForNested checks that For can be called from inside an fn block
+// without deadlocking and still covers all inner indexes.
+func TestForNested(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	const outer, inner = 8, 50
+	var total atomic.Int64
+	For(outer, 1, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			For(inner, 7, func(ilo, ihi int) {
+				total.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if got := total.Load(); got != outer*inner {
+		t.Fatalf("nested For covered %d indexes, want %d", got, outer*inner)
+	}
+}
+
+func TestSetWorkersClamps(t *testing.T) {
+	prev := SetWorkers(-3)
+	if Workers() != 1 {
+		t.Fatalf("SetWorkers(-3) should clamp to 1, got %d", Workers())
+	}
+	SetWorkers(prev)
+}
