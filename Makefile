@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-kernels vet
+.PHONY: all build test race bench bench-kernels vet chaos
 
 all: build test
 
@@ -18,6 +18,12 @@ test:
 race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# chaos is the resilience gate: the enrichment middleware and TKG
+# degradation suites re-run with aggressive fault injection (50% rates in
+# the chaos-gated tests, vs 20% in a plain `make test`). See DESIGN.md §3c.
+chaos:
+	TRAIL_CHAOS=0.5 $(GO) test -count=1 ./internal/osint/... ./internal/core/...
 
 bench:
 	$(GO) test -bench=. -benchmem

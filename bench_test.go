@@ -63,7 +63,7 @@ func BenchmarkTableII_BuildTKG(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		w := osint.NewWorld(cfg)
 		tkg := core.NewTKG(w, w.Resolver(), core.DefaultBuildConfig())
-		if err := tkg.Build(w.Pulses()); err != nil {
+		if _, err := tkg.Build(w.Pulses()); err != nil {
 			b.Fatal(err)
 		}
 		rep := tkg.Stats()
@@ -213,7 +213,7 @@ func BenchmarkTKGScale_Build(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		w := osint.NewWorld(cfg)
 		tkg := core.NewTKG(w, w.Resolver(), core.DefaultBuildConfig())
-		if err := tkg.Build(w.Pulses()); err != nil {
+		if _, err := tkg.Build(w.Pulses()); err != nil {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(len(tkg.EventNodes())), "events")
@@ -229,7 +229,7 @@ func BenchmarkLabelPropagationScale(b *testing.B) {
 	cfg.EventsPerMonth = 90
 	w := osint.NewWorld(cfg)
 	tkg := core.NewTKG(w, w.Resolver(), core.DefaultBuildConfig())
-	if err := tkg.Build(w.Pulses()); err != nil {
+	if _, err := tkg.Build(w.Pulses()); err != nil {
 		b.Fatal(err)
 	}
 	csr := tkg.G.CSR()

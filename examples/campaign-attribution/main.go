@@ -35,7 +35,7 @@ func main() {
 	// Build the base TKG from the first 12 months; month 13 is "the
 	// future".
 	tkg := core.NewTKG(world, world.Resolver(), core.DefaultBuildConfig())
-	if err := tkg.Build(world.PulsesInMonths(0, 12)); err != nil {
+	if _, err := tkg.Build(world.PulsesInMonths(0, 12)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("base TKG: %d nodes, %d events\n", tkg.G.NumNodes(), len(tkg.EventNodes()))

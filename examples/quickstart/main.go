@@ -29,7 +29,7 @@ func main() {
 	// 2. Build the TRAIL knowledge graph: parse reports, enrich IOCs two
 	// hops deep, connect everything with the Table I schema.
 	tkg := core.NewTKG(world, world.Resolver(), core.DefaultBuildConfig())
-	if err := tkg.Build(world.Pulses()); err != nil {
+	if _, err := tkg.Build(world.Pulses()); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("TKG: %d nodes, %d edges, %d attributed events\n",

@@ -32,14 +32,16 @@ func (t *TKG) Clone() (*TKG, error) {
 		}
 		eventAPTs[id] = cp
 	}
-	return &TKG{
-		G:             g,
-		Features:      features,
-		Extractor:     t.Extractor,
-		Resolver:      t.Resolver,
-		Config:        t.Config,
-		svc:           t.svc,
-		SkippedPulses: t.SkippedPulses,
-		eventAPTs:     eventAPTs,
-	}, nil
+	nt := NewTKGFallible(t.fsvc, t.Resolver, t.Config)
+	nt.G = g
+	nt.Features = features
+	nt.SkippedPulses = t.SkippedPulses
+	nt.eventAPTs = eventAPTs
+	nt.report = t.report
+	nt.report.DegradedByKind = make(map[graph.NodeKind]int, len(t.report.DegradedByKind))
+	for k, v := range t.report.DegradedByKind {
+		nt.report.DegradedByKind[k] = v
+	}
+	nt.enrichErrs.Store(t.enrichErrs.Load())
+	return nt, nil
 }

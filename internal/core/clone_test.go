@@ -54,8 +54,14 @@ func TestCloneSharesServices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cp.svc != tkg.svc || cp.Extractor != tkg.Extractor {
-		t.Fatal("clone must share enrichment services and extractor")
+	// The clone shares the underlying enrichment stack but owns its
+	// error tap and extractor, so enrichment failures during a merge into
+	// the clone degrade the clone's report, not the original's.
+	if cp.fsvc != tkg.fsvc {
+		t.Fatal("clone must share the underlying enrichment services")
+	}
+	if cp.svc == tkg.svc || cp.Extractor == tkg.Extractor {
+		t.Fatal("clone must own its error tap and extractor")
 	}
 	// Labels and reuse metadata must survive the round trip.
 	for _, ev := range tkg.EventNodes() {
@@ -68,11 +74,11 @@ func TestCloneSharesServices(t *testing.T) {
 func TestMaxHopsOneSkipsSecondaries(t *testing.T) {
 	w := osint.NewWorld(osint.TestConfig())
 	shallow := NewTKG(w, w.Resolver(), BuildConfig{MaxHops: 1, FeaturizeSecondaries: true})
-	if err := shallow.Build(w.Pulses()); err != nil {
+	if _, err := shallow.Build(w.Pulses()); err != nil {
 		t.Fatal(err)
 	}
 	deep := NewTKG(w, w.Resolver(), DefaultBuildConfig())
-	if err := deep.Build(w.Pulses()); err != nil {
+	if _, err := deep.Build(w.Pulses()); err != nil {
 		t.Fatal(err)
 	}
 	if shallow.G.NumNodes() >= deep.G.NumNodes() {

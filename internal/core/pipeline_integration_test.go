@@ -15,7 +15,7 @@ func TestBuildThroughCachedServices(t *testing.T) {
 	w := osint.NewWorld(osint.TestConfig())
 
 	direct := NewTKG(w, w.Resolver(), DefaultBuildConfig())
-	if err := direct.Build(w.Pulses()); err != nil {
+	if _, err := direct.Build(w.Pulses()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -25,7 +25,7 @@ func TestBuildThroughCachedServices(t *testing.T) {
 		t.Fatal(err)
 	}
 	viaCache := NewTKG(cached, w.Resolver(), DefaultBuildConfig())
-	if err := viaCache.Build(w.Pulses()); err != nil {
+	if _, err := viaCache.Build(w.Pulses()); err != nil {
 		t.Fatal(err)
 	}
 

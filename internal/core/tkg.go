@@ -20,7 +20,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"trail/internal/apt"
 	"trail/internal/feature"
@@ -59,7 +61,21 @@ type TKG struct {
 	Resolver  *apt.Resolver
 	Config    BuildConfig
 
-	svc osint.Services
+	// svc is the infallible view the Extractor and relation expansion
+	// consume; it taps enrichment errors from fsvc into the build report
+	// so failed lookups degrade nodes instead of masquerading as misses.
+	svc  osint.Services
+	fsvc osint.FallibleServices
+	// metricsSrc, when non-nil, supplies resilience middleware counters
+	// for the build report.
+	metricsSrc osint.MetricsSource
+	// buildCtx is the context of the in-progress build (Background
+	// outside one).
+	buildCtx context.Context
+	// enrichErrs counts enrichment errors observed through the tap.
+	enrichErrs atomic.Int64
+	report     BuildReport
+	imp        *imputer
 	// SkippedPulses counts reports discarded for conflicting tags.
 	SkippedPulses int
 	// eventAPTs tracks, per IOC node, the set of distinct APTs of events
@@ -68,31 +84,123 @@ type TKG struct {
 }
 
 // NewTKG returns an empty TKG that enriches through svc and resolves tags
-// through resolver.
+// through resolver. The services are treated as infallible (every lookup
+// either finds data or is a clean miss); deployments with real, flaky
+// providers should use NewTKGFallible with the resilience middleware.
 func NewTKG(svc osint.Services, resolver *apt.Resolver, cfg BuildConfig) *TKG {
+	return NewTKGFallible(osint.Infallible(svc), resolver, cfg)
+}
+
+// NewTKGFallible returns an empty TKG enriching through an error-aware
+// services stack. Enrichment errors do not abort the build: the affected
+// IOC keeps its node, receives imputed (feature-mean/zero) features, is
+// flagged Degraded, and the failure is tallied in the BuildReport.
+func NewTKGFallible(fsvc osint.FallibleServices, resolver *apt.Resolver, cfg BuildConfig) *TKG {
 	if cfg.MaxHops < 1 {
 		cfg.MaxHops = 1
 	}
-	return &TKG{
+	t := &TKG{
 		G:         graph.New(),
 		Features:  make(map[graph.NodeID][]float64),
-		Extractor: feature.NewExtractor(svc),
 		Resolver:  resolver,
 		Config:    cfg,
-		svc:       svc,
+		fsvc:      fsvc,
+		buildCtx:  context.Background(),
+		imp:       newImputer(),
 		eventAPTs: make(map[graph.NodeID]map[apt.ID]bool),
 	}
+	t.report.DegradedByKind = make(map[graph.NodeKind]int)
+	if ms, ok := fsvc.(osint.MetricsSource); ok {
+		t.metricsSrc = ms
+	}
+	t.svc = &errTap{t: t}
+	t.Extractor = feature.NewExtractor(t.svc)
+	return t
 }
 
-// Build ingests a batch of pulses and finalises derived labels.
-func (t *TKG) Build(pulses []osint.Pulse) error {
+// errTap adapts the TKG's FallibleServices to the infallible Services
+// shape the Extractor consumes, recording every enrichment error so the
+// builder can tell outages apart from genuine negative results.
+type errTap struct{ t *TKG }
+
+func (a *errTap) LookupIP(addr string) (osint.IPRecord, bool) {
+	rec, ok, err := a.t.fsvc.LookupIP(a.t.buildCtx, addr)
+	if err != nil {
+		a.t.noteEnrichErr()
+		return osint.IPRecord{}, false
+	}
+	return rec, ok
+}
+
+func (a *errTap) PassiveDNSDomain(name string) (osint.DomainRecord, bool) {
+	rec, ok, err := a.t.fsvc.PassiveDNSDomain(a.t.buildCtx, name)
+	if err != nil {
+		a.t.noteEnrichErr()
+		return osint.DomainRecord{}, false
+	}
+	return rec, ok
+}
+
+func (a *errTap) PassiveDNSIP(addr string) ([]string, bool) {
+	doms, ok, err := a.t.fsvc.PassiveDNSIP(a.t.buildCtx, addr)
+	if err != nil {
+		a.t.noteEnrichErr()
+		return nil, false
+	}
+	return doms, ok
+}
+
+func (a *errTap) ProbeURL(url string) (osint.URLRecord, bool) {
+	rec, ok, err := a.t.fsvc.ProbeURL(a.t.buildCtx, url)
+	if err != nil {
+		a.t.noteEnrichErr()
+		return osint.URLRecord{}, false
+	}
+	return rec, ok
+}
+
+func (t *TKG) noteEnrichErr() { t.enrichErrs.Add(1) }
+
+// Build ingests a batch of pulses, finalises derived labels, and returns
+// the build report. Pulses without a unique APT tag are skipped and
+// counted, not treated as errors; enrichment failures degrade individual
+// nodes without aborting the build.
+func (t *TKG) Build(pulses []osint.Pulse) (*BuildReport, error) {
+	return t.BuildContext(context.Background(), pulses)
+}
+
+// BuildContext is Build under a context: cancellation stops enrichment
+// (in-flight lookups fail fast) and aborts between pulses.
+func (t *TKG) BuildContext(ctx context.Context, pulses []osint.Pulse) (*BuildReport, error) {
+	t.buildCtx = ctx
+	defer func() { t.buildCtx = context.Background() }()
 	for i := range pulses {
-		if _, err := t.AddPulse(pulses[i]); err != nil {
-			return fmt.Errorf("core: pulse %d (%s): %w", i, pulses[i].ID, err)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: build canceled at pulse %d: %w", i, err)
+		}
+		if _, err := t.AddPulse(pulses[i]); err != nil && err != ErrSkipped {
+			return nil, fmt.Errorf("core: pulse %d (%s): %w", i, pulses[i].ID, err)
 		}
 	}
 	t.FinalizeLabels()
-	return nil
+	return t.Report(), nil
+}
+
+// Report snapshots the cumulative build bookkeeping, including the
+// resilience middleware counters when the enrichment stack exposes them.
+func (t *TKG) Report() *BuildReport {
+	rep := t.report
+	rep.EnrichErrors = int(t.enrichErrs.Load())
+	rep.Skipped = t.SkippedPulses
+	rep.DegradedByKind = make(map[graph.NodeKind]int, len(t.report.DegradedByKind))
+	for k, v := range t.report.DegradedByKind {
+		rep.DegradedByKind[k] = v
+	}
+	if t.metricsSrc != nil {
+		m := t.metricsSrc.Metrics()
+		rep.Resilience = &m
+	}
+	return &rep
 }
 
 // ErrSkipped is returned by AddPulse for reports discarded by the tag
@@ -103,6 +211,7 @@ var ErrSkipped = fmt.Errorf("core: pulse skipped (no unique APT tag)")
 // node ID. Reports whose tags do not resolve to exactly one APT return
 // ErrSkipped.
 func (t *TKG) AddPulse(p osint.Pulse) (graph.NodeID, error) {
+	t.report.Pulses++
 	label, ok := t.Resolver.ResolveTags(p.Tags)
 	if !ok {
 		t.SkippedPulses++
@@ -113,6 +222,7 @@ func (t *TKG) AddPulse(p osint.Pulse) (graph.NodeID, error) {
 	if !created {
 		return eventID, fmt.Errorf("core: duplicate pulse ID %q", p.ID)
 	}
+	t.report.Merged++
 	month := p.Month
 	t.G.UpdateNode(eventID, func(n *graph.Node) {
 		n.Label = int(label)
@@ -181,8 +291,15 @@ func (t *TKG) AddPulse(p osint.Pulse) (graph.NodeID, error) {
 }
 
 // expand follows the Table I relations of one IOC, creating secondary
-// nodes via touch at hop+1.
+// nodes via touch at hop+1. Enrichment failures leave the node in place
+// with whatever relations did resolve, flagged Degraded.
 func (t *TKG) expand(id graph.NodeID, item ioc.IOC, hop int, touch func(ioc.IOC, int) (graph.NodeID, bool)) {
+	before := t.enrichErrs.Load()
+	defer func() {
+		if t.enrichErrs.Load() > before {
+			t.markDegraded(id)
+		}
+	}()
 	switch item.Type {
 	case ioc.TypeIP:
 		if rec, ok := t.svc.LookupIP(item.Value); ok && rec.ASN != 0 {
@@ -222,9 +339,33 @@ func (t *TKG) expand(id graph.NodeID, item ioc.IOC, hop int, touch func(ioc.IOC,
 }
 
 func (t *TKG) featurize(id graph.NodeID, item ioc.IOC) {
-	if v, _ := t.Extractor.Extract(item); v != nil {
-		t.Features[id] = v
+	before := t.enrichErrs.Load()
+	v, ok := t.Extractor.Extract(item)
+	if v == nil {
+		return
 	}
+	if t.enrichErrs.Load() > before {
+		// Enrichment errored (not merely a miss): impute the provider-
+		// derived dimensions from the running per-type feature mean and
+		// flag the node, keeping any lexical dimensions the extractor
+		// computed from the indicator string itself.
+		t.imp.impute(item.Type, v)
+		t.markDegraded(id)
+	} else if ok {
+		t.imp.observe(item.Type, v)
+	}
+	t.Features[id] = v
+}
+
+// markDegraded flags a node as enrichment-degraded exactly once and
+// tallies it in the build report.
+func (t *TKG) markDegraded(id graph.NodeID) {
+	n := t.G.Node(id)
+	if n.Degraded {
+		return
+	}
+	t.G.UpdateNode(id, func(n *graph.Node) { n.Degraded = true })
+	t.report.DegradedByKind[n.Kind]++
 }
 
 func (t *TKG) noteEventAPT(id graph.NodeID, label apt.ID) {

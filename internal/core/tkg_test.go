@@ -11,7 +11,7 @@ func buildTestTKG(t testing.TB) (*TKG, *osint.World) {
 	t.Helper()
 	w := osint.NewWorld(osint.TestConfig())
 	tkg := NewTKG(w, w.Resolver(), DefaultBuildConfig())
-	if err := tkg.Build(w.Pulses()); err != nil {
+	if _, err := tkg.Build(w.Pulses()); err != nil {
 		t.Fatalf("Build: %v", err)
 	}
 	return tkg, w

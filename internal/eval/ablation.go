@@ -44,7 +44,7 @@ func RunAblationEnrichmentDepth(ctx *Context) (*AblationRow, error) {
 	shallow := core.NewTKG(ctx.World, ctx.World.Resolver(), core.BuildConfig{
 		MaxHops: 1, FeaturizeSecondaries: true,
 	})
-	if err := shallow.Build(ctx.World.PulsesInMonths(0, ctx.TrainMonths)); err != nil {
+	if _, err := shallow.Build(ctx.World.PulsesInMonths(0, ctx.TrainMonths)); err != nil {
 		return nil, err
 	}
 	full := ctx.lpAccuracy(ctx.TKG, 3)

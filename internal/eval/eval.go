@@ -78,7 +78,7 @@ func NewContext(opts Options) (*Context, error) {
 			opts.World.Months, opts.StudyMonths)
 	}
 	tkg := core.NewTKG(w, w.Resolver(), core.DefaultBuildConfig())
-	if err := tkg.Build(w.PulsesInMonths(0, trainMonths)); err != nil {
+	if _, err := tkg.Build(w.PulsesInMonths(0, trainMonths)); err != nil {
 		return nil, err
 	}
 	return &Context{

@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"trail/internal/core"
+	"trail/internal/ml"
+	"trail/internal/osint"
+)
+
+// RobustnessConfig tunes the enrichment-failure robustness sweep: the TKG
+// is rebuilt at each fault rate behind the chaos injector and resilience
+// middleware, and event attribution is re-evaluated on the degraded
+// graph.
+type RobustnessConfig struct {
+	// Rates are the permanent enrichment-failure rates to sweep. A rate
+	// of 0 is the fault-free baseline.
+	Rates []float64
+	// TransientRate adds constant background flakiness on top of every
+	// sweep point; the middleware is expected to absorb it entirely.
+	TransientRate float64
+	// ChaosSeed seeds the fault injector (independent of the eval seed so
+	// the same worlds fail differently across studies if desired).
+	ChaosSeed int64
+	// LPLayers and GNNLayers select the attribution models evaluated at
+	// each point (the paper's best label-propagation depth and a
+	// mid-depth GNN).
+	LPLayers  int
+	GNNLayers int
+}
+
+// DefaultRobustnessConfig sweeps 0-40% permanent failures with 10%
+// background transients, evaluating LP 4L and GNN 2L.
+func DefaultRobustnessConfig() RobustnessConfig {
+	return RobustnessConfig{
+		Rates:         []float64{0, 0.1, 0.2, 0.4},
+		TransientRate: 0.1,
+		ChaosSeed:     42,
+		LPLayers:      4,
+		GNNLayers:     2,
+	}
+}
+
+// RobustnessPoint is one row of the sweep.
+type RobustnessPoint struct {
+	Rate         float64
+	Degraded     int
+	EnrichErrors int
+	Retries      int64
+	Trips        int64
+	LP           ml.MeanStd
+	GNN          ml.MeanStd
+}
+
+// RobustnessResult is the enrichment-failure robustness experiment.
+type RobustnessResult struct {
+	Points    []RobustnessPoint
+	LPLayers  int
+	GNNLayers int
+	Events    int
+}
+
+// Render prints the accuracy-vs-fault-rate table.
+func (r *RobustnessResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Robustness: event attribution vs enrichment failure rate (%d events)\n", r.Events)
+	fmt.Fprintf(&b, "%-6s %9s %8s %8s %6s %18s %18s\n",
+		"rate", "degraded", "errors", "retries", "trips",
+		fmt.Sprintf("LP %dL acc", r.LPLayers), fmt.Sprintf("GNN %dL acc", r.GNNLayers))
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-6.2f %9d %8d %8d %6d %18s %18s\n",
+			p.Rate, p.Degraded, p.EnrichErrors, p.Retries, p.Trips, p.LP, p.GNN)
+	}
+	return b.String()
+}
+
+// AccuracyDrop returns the mean-accuracy drop of the named depth family
+// ("LP" or "GNN") between the lowest and highest swept rate.
+func (r *RobustnessResult) AccuracyDrop(family string) float64 {
+	if len(r.Points) < 2 {
+		return 0
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if family == "GNN" {
+		return first.GNN.Mean - last.GNN.Mean
+	}
+	return first.LP.Mean - last.LP.Mean
+}
+
+// RunRobustness rebuilds the TKG at each fault rate behind the full
+// chaos -> retry/breaker stack and re-runs event attribution on the
+// degraded graph. The base context supplies world configuration and
+// evaluation options only; each point builds its own world so degraded
+// feature vectors are genuinely imputed, not copied from the baseline.
+func RunRobustness(ctx *Context, cfg RobustnessConfig) (*RobustnessResult, error) {
+	if len(cfg.Rates) == 0 {
+		cfg = DefaultRobustnessConfig()
+	}
+	res := &RobustnessResult{LPLayers: cfg.LPLayers, GNNLayers: cfg.GNNLayers}
+	for _, rate := range cfg.Rates {
+		pctx, rep, err := buildDegradedContext(ctx.Opts, cfg, rate)
+		if err != nil {
+			return nil, fmt.Errorf("eval: robustness at rate %.2f: %w", rate, err)
+		}
+		tcfg := DefaultTableIVConfig()
+		tcfg.Models = []ModelName{} // traditional models: out of scope here
+		tcfg.LPLayers = []int{cfg.LPLayers}
+		tcfg.GNNLayers = []int{cfg.GNNLayers}
+		table, err := RunTableIV(pctx, tcfg)
+		if err != nil {
+			return nil, fmt.Errorf("eval: robustness at rate %.2f: %w", rate, err)
+		}
+		point := RobustnessPoint{
+			Rate:         rate,
+			Degraded:     rep.Degraded(),
+			EnrichErrors: rep.EnrichErrors,
+		}
+		if rep.Resilience != nil {
+			t := rep.Resilience.Totals()
+			point.Retries, point.Trips = t.Retries, t.Trips
+		}
+		if row := table.Row(fmt.Sprintf("LP %dL", cfg.LPLayers)); row != nil {
+			point.LP = row.Acc
+		}
+		if row := table.Row(fmt.Sprintf("GNN %dL", cfg.GNNLayers)); row != nil {
+			point.GNN = row.Acc
+		}
+		res.Points = append(res.Points, point)
+		res.Events = table.Events
+	}
+	return res, nil
+}
+
+// buildDegradedContext builds a fresh world and TKG behind the fault
+// stack at the given permanent-failure rate, returning an eval context
+// over the (possibly degraded) graph plus its build report. The manual
+// clock makes retry backoff and latency spikes free.
+func buildDegradedContext(opts Options, cfg RobustnessConfig, rate float64) (*Context, *core.BuildReport, error) {
+	w := osint.NewWorld(opts.World)
+	trainMonths := opts.World.Months - opts.StudyMonths
+	if trainMonths < 1 {
+		return nil, nil, fmt.Errorf("%d months with %d study months leaves no training window",
+			opts.World.Months, opts.StudyMonths)
+	}
+	clock := osint.NewManualClock(time.Unix(0, 0)).AutoAdvance(time.Millisecond)
+	chaos := osint.NewChaosServices(w, osint.ChaosConfig{
+		Seed:                    cfg.ChaosSeed,
+		PermanentRate:           rate,
+		TransientRate:           cfg.TransientRate,
+		MaxConsecutiveTransient: 3,
+		Clock:                   clock,
+	})
+	rcfg := osint.DefaultResilienceConfig()
+	rcfg.Clock = clock
+	rcfg.MaxAttempts = 5
+	tkg := core.NewTKGFallible(osint.NewResilientServices(chaos, rcfg), w.Resolver(), core.DefaultBuildConfig())
+	rep, err := tkg.Build(w.PulsesInMonths(0, trainMonths))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Context{
+		Opts:        opts,
+		World:       w,
+		TKG:         tkg,
+		Classes:     len(w.Roster()),
+		Names:       w.Resolver().Names(),
+		TrainMonths: trainMonths,
+	}, rep, nil
+}

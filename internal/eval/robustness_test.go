@@ -1,0 +1,48 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRobustness(t *testing.T) {
+	ctx := getCtx(t)
+	cfg := RobustnessConfig{
+		Rates:         []float64{0, 0.3},
+		TransientRate: 0.1,
+		ChaosSeed:     42,
+		LPLayers:      4,
+		GNNLayers:     2,
+	}
+	res, err := RunRobustness(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points %d, want 2", len(res.Points))
+	}
+	base, worst := res.Points[0], res.Points[1]
+	// Background transients only: the middleware must absorb them all.
+	if base.Degraded != 0 || base.EnrichErrors != 0 {
+		t.Fatalf("baseline point damaged: %+v", base)
+	}
+	if base.Retries == 0 {
+		t.Fatal("baseline point shows no retries despite 10%% transients")
+	}
+	// 30% permanent failures must actually degrade nodes, yet attribution
+	// still runs end-to-end.
+	if worst.Degraded == 0 || worst.EnrichErrors == 0 {
+		t.Fatalf("faulty point reports no damage: %+v", worst)
+	}
+	for _, p := range res.Points {
+		if p.LP.Mean <= 0 || p.LP.Mean > 1 || p.GNN.Mean <= 0 || p.GNN.Mean > 1 {
+			t.Fatalf("accuracy out of range at rate %.2f: LP %v GNN %v", p.Rate, p.LP, p.GNN)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"rate", "degraded", "LP 4L", "GNN 2L"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -118,6 +118,12 @@ type Node struct {
 	// Month is the (year*12+month) bucket the node first appeared in;
 	// used by the longitudinal experiments. Zero means unknown.
 	Month int
+	// Degraded records that enrichment failed for this IOC during TKG
+	// construction (provider outage, retries exhausted): its feature
+	// vector is imputed rather than measured, and its relation expansion
+	// may be incomplete. Snapshots written before this field decode it
+	// as false.
+	Degraded bool
 }
 
 // HalfEdge is one direction of a stored edge.

@@ -141,7 +141,10 @@ type Lexical struct {
 func LexicalFeatures(s string) Lexical {
 	var l Lexical
 	l.Length = float64(len(s))
-	counts := make(map[byte]int)
+	// Fixed-order byte counts: entropy must sum in a deterministic order,
+	// or identical inputs produce last-ulp-different features from one
+	// call to the next (float addition is not associative).
+	var counts [256]int
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		counts[c]++
@@ -162,6 +165,9 @@ func LexicalFeatures(s string) Lexical {
 		l.DigitRatio = l.Digits / l.Length
 		n := float64(len(s))
 		for _, c := range counts {
+			if c == 0 {
+				continue
+			}
 			p := float64(c) / n
 			l.Entropy -= p * math.Log2(p)
 		}

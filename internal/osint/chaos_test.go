@@ -1,0 +1,171 @@
+package osint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestChaosDeterminism(t *testing.T) {
+	w := testWorld(t)
+	cfg := ChaosConfig{
+		Seed:          7,
+		TransientRate: 0.4,
+		PermanentRate: 0.1,
+		MalformedRate: 0.2,
+		Clock:         NewManualClock(time.Unix(0, 0)),
+	}
+	run := func() []string {
+		c := NewChaosServices(w, cfg)
+		var log []string
+		ctx := context.Background()
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("198.51.100.%d", i%50) // repeat keys: attempt counters advance
+			rec, ok, err := c.LookupIP(ctx, key)
+			log = append(log, fmt.Sprintf("%v|%v|%v", rec, ok, err))
+		}
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChaosPermanentIsSticky(t *testing.T) {
+	w := testWorld(t)
+	c := NewChaosServices(w, ChaosConfig{Seed: 3, PermanentRate: 0.5, Clock: NewManualClock(time.Unix(0, 0))})
+	ctx := context.Background()
+	sawPermanent := false
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("198.51.100.%d", i)
+		_, _, err := c.LookupIP(ctx, key)
+		if err == nil {
+			continue
+		}
+		sawPermanent = true
+		if !errors.Is(err, ErrPermanent) {
+			t.Fatalf("unexpected class: %v", err)
+		}
+		// Permanent means permanent: every later attempt at this key
+		// fails identically.
+		for j := 0; j < 3; j++ {
+			if _, _, err2 := c.LookupIP(ctx, key); !errors.Is(err2, ErrPermanent) {
+				t.Fatalf("permanent fault healed on attempt %d: %v", j, err2)
+			}
+		}
+	}
+	if !sawPermanent {
+		t.Fatal("no permanent faults at rate 0.5 over 40 keys")
+	}
+}
+
+func TestChaosTransientHealsAndRateIsHonored(t *testing.T) {
+	w := testWorld(t)
+	c := NewChaosServices(w, ChaosConfig{
+		Seed: 5, TransientRate: 0.25, MaxConsecutiveTransient: 3,
+		Clock: NewManualClock(time.Unix(0, 0)),
+	})
+	ctx := context.Background()
+	healed := 0
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("198.51.100.%d", i)
+		var err error
+		for attempt := 0; attempt < 4; attempt++ {
+			if _, _, err = c.LookupIP(ctx, key); err == nil {
+				if attempt > 0 {
+					healed++
+				}
+				break
+			}
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("unexpected class: %v", err)
+			}
+		}
+		if err != nil {
+			t.Fatalf("key %s still failing after 4 attempts despite MaxConsecutiveTransient=3", key)
+		}
+	}
+	if healed == 0 {
+		t.Fatal("no transient faults injected at rate 0.25 over 100 keys")
+	}
+	counters := c.Counters()
+	// ~25% of first attempts should flake: accept a generous band.
+	if counters.Transient < 10 || counters.Transient > 60 {
+		t.Fatalf("transient injections %d outside plausible band for rate 0.25", counters.Transient)
+	}
+}
+
+func TestChaosLatencyChargesClock(t *testing.T) {
+	w := testWorld(t)
+	clock := NewManualClock(time.Unix(0, 0))
+	c := NewChaosServices(w, ChaosConfig{
+		Seed: 11, LatencyRate: 1.0, Latency: 3 * time.Second, Clock: clock,
+	})
+	if _, _, err := c.LookupIP(context.Background(), "198.51.100.1"); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Slept() != 3*time.Second {
+		t.Fatalf("latency spike charged %v, want 3s", clock.Slept())
+	}
+}
+
+func TestChaosMalformedRecordsArePartial(t *testing.T) {
+	w := testWorld(t)
+	var addr string
+	for a := range collectIPs(w) {
+		addr = a
+		break
+	}
+	full, ok := w.LookupIP(addr)
+	if !ok {
+		t.Fatal("test IP unknown to world")
+	}
+	c := NewChaosServices(w, ChaosConfig{Seed: 2, MalformedRate: 1.0, Clock: NewManualClock(time.Unix(0, 0))})
+	rec, ok, err := c.LookupIP(context.Background(), addr)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if rec.Country != "" || rec.Issuer != "" || rec.Lat != 0 || rec.Lon != 0 {
+		t.Fatalf("malformed record kept registry fields: %+v", rec)
+	}
+	if rec.Addr != full.Addr || rec.ASN != full.ASN {
+		t.Fatalf("malformed record lost identity fields: %+v vs %+v", rec, full)
+	}
+}
+
+// TestChaosUnderResilience is the integration contract: with transient
+// faults only, the middleware heals every call, so downstream consumers
+// cannot tell chaos ran at all.
+func TestChaosUnderResilience(t *testing.T) {
+	w := testWorld(t)
+	clock := NewManualClock(time.Unix(0, 0))
+	chaos := NewChaosServices(w, ChaosConfig{
+		Seed: 9, TransientRate: 0.3, MaxConsecutiveTransient: 3, Clock: clock,
+	})
+	cfg := testResilience(clock)
+	cfg.MaxAttempts = 5
+	r := NewResilientServices(chaos, cfg)
+	ctx := context.Background()
+
+	for addr := range collectIPs(w) {
+		want, wantOK := w.LookupIP(addr)
+		got, ok, err := r.LookupIP(ctx, addr)
+		if err != nil {
+			t.Fatalf("%s: %v", addr, err)
+		}
+		if ok != wantOK || got != want {
+			t.Fatalf("%s: chaos visible through middleware: %+v vs %+v", addr, got, want)
+		}
+	}
+	if c := chaos.Counters(); c.Transient == 0 {
+		t.Fatal("chaos injected nothing; test is vacuous")
+	}
+	if m := r.Metrics().PerKind[ProviderIPLookup]; m.Failures != 0 || m.Retries == 0 {
+		t.Fatalf("middleware metrics %+v", m)
+	}
+}

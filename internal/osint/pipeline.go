@@ -3,6 +3,7 @@ package osint
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -27,9 +28,15 @@ type CachedServices struct {
 	doms  map[string]cached[DomainRecord]
 	pdns  map[string]cached[[]string]
 	urls  map[string]cached[URLRecord]
+	// flight dedups concurrent misses per (kind,key): the first caller
+	// fetches, later callers wait and read the cached result, so exactly
+	// one upstream call is issued per key.
+	flight map[string]*inflight
 
 	hits, misses int64
 }
+
+type inflight struct{ done chan struct{} }
 
 // osint is an internal alias so struct fields read cleanly.
 type osint = Services
@@ -42,50 +49,74 @@ type cached[T any] struct {
 // NewCachedServices wraps inner with an unbounded memoisation layer.
 func NewCachedServices(inner Services) *CachedServices {
 	return &CachedServices{
-		inner: inner,
-		ips:   make(map[string]cached[IPRecord]),
-		doms:  make(map[string]cached[DomainRecord]),
-		pdns:  make(map[string]cached[[]string]),
-		urls:  make(map[string]cached[URLRecord]),
+		inner:  inner,
+		ips:    make(map[string]cached[IPRecord]),
+		doms:   make(map[string]cached[DomainRecord]),
+		pdns:   make(map[string]cached[[]string]),
+		urls:   make(map[string]cached[URLRecord]),
+		flight: make(map[string]*inflight),
 	}
 }
 
-func cacheGet[T any](c *CachedServices, m map[string]cached[T], key string, fetch func(string) (T, bool)) (T, bool) {
-	c.mu.RLock()
-	e, ok := m[key]
-	c.mu.RUnlock()
-	if ok {
+func cacheGet[T any](c *CachedServices, m map[string]cached[T], kind, key string, fetch func(string) (T, bool)) (T, bool) {
+	fk := kind + "\x00" + key
+	for {
+		c.mu.RLock()
+		e, ok := m[key]
+		c.mu.RUnlock()
+		if ok {
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+			return e.val, e.ok
+		}
 		c.mu.Lock()
-		c.hits++
+		if e, ok := m[key]; ok { // filled while we upgraded the lock
+			c.hits++
+			c.mu.Unlock()
+			return e.val, e.ok
+		}
+		if fl, ok := c.flight[fk]; ok {
+			// Another goroutine is fetching this key: wait for it, then
+			// re-read the cache.
+			c.mu.Unlock()
+			<-fl.done
+			continue
+		}
+		fl := &inflight{done: make(chan struct{})}
+		c.flight[fk] = fl
 		c.mu.Unlock()
-		return e.val, e.ok
+
+		val, found := fetch(key)
+
+		c.mu.Lock()
+		c.misses++
+		m[key] = cached[T]{val: val, ok: found}
+		delete(c.flight, fk)
+		c.mu.Unlock()
+		close(fl.done)
+		return val, found
 	}
-	val, found := fetch(key)
-	c.mu.Lock()
-	c.misses++
-	m[key] = cached[T]{val: val, ok: found}
-	c.mu.Unlock()
-	return val, found
 }
 
 // LookupIP implements Services.
 func (c *CachedServices) LookupIP(addr string) (IPRecord, bool) {
-	return cacheGet(c, c.ips, addr, c.inner.LookupIP)
+	return cacheGet(c, c.ips, "ip", addr, c.inner.LookupIP)
 }
 
 // PassiveDNSDomain implements Services.
 func (c *CachedServices) PassiveDNSDomain(name string) (DomainRecord, bool) {
-	return cacheGet(c, c.doms, name, c.inner.PassiveDNSDomain)
+	return cacheGet(c, c.doms, "dom", name, c.inner.PassiveDNSDomain)
 }
 
 // PassiveDNSIP implements Services.
 func (c *CachedServices) PassiveDNSIP(addr string) ([]string, bool) {
-	return cacheGet(c, c.pdns, addr, c.inner.PassiveDNSIP)
+	return cacheGet(c, c.pdns, "pdns", addr, c.inner.PassiveDNSIP)
 }
 
 // ProbeURL implements Services.
 func (c *CachedServices) ProbeURL(url string) (URLRecord, bool) {
-	return cacheGet(c, c.urls, url, c.inner.ProbeURL)
+	return cacheGet(c, c.urls, "url", url, c.inner.ProbeURL)
 }
 
 // Stats reports cache hits and misses since creation.
@@ -242,7 +273,10 @@ feed:
 			case jobs <- job{typ: typ, value: item.Value}:
 				count++
 			case <-ctx.Done():
-				err = ErrCanceled
+				// Wrap the context cause so callers can distinguish
+				// deadline expiry from explicit cancellation with
+				// errors.Is while still matching ErrCanceled.
+				err = fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
 				break feed
 			}
 		}

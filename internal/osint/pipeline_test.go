@@ -2,6 +2,7 @@ package osint
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -142,8 +143,24 @@ func TestPrefetchCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	pf := &Prefetcher{Services: w, Workers: 2}
-	if _, err := pf.Prefetch(ctx, w.Pulses()); err != ErrCanceled {
+	_, err := pf.Prefetch(ctx, w.Pulses())
+	if !errors.Is(err, ErrCanceled) {
 		t.Fatalf("expected ErrCanceled, got %v", err)
+	}
+	// The context cause must be preserved through the wrap.
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cause lost: %v", err)
+	}
+}
+
+func TestPrefetchDeadlineCause(t *testing.T) {
+	w := testWorld(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	pf := &Prefetcher{Services: w, Workers: 2}
+	_, err := pf.Prefetch(ctx, w.Pulses())
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected ErrCanceled wrapping DeadlineExceeded, got %v", err)
 	}
 }
 
@@ -207,5 +224,173 @@ func TestMISPEmptyAndGarbage(t *testing.T) {
 	}
 	if _, _, err := DecodeMISP(strings.NewReader(`"just a string"`)); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// blockingServices gates LookupIP on a channel so tests can hold a fetch
+// open while other goroutines pile up on the same key.
+type blockingServices struct {
+	inner   Services
+	release chan struct{}
+	entered chan struct{} // closed once on first LookupIP entry
+	once    sync.Once
+	calls   int64
+	mu      sync.Mutex
+}
+
+func (b *blockingServices) LookupIP(a string) (IPRecord, bool) {
+	b.once.Do(func() { close(b.entered) })
+	<-b.release
+	b.mu.Lock()
+	b.calls++
+	b.mu.Unlock()
+	return b.inner.LookupIP(a)
+}
+func (b *blockingServices) PassiveDNSDomain(n string) (DomainRecord, bool) {
+	return b.inner.PassiveDNSDomain(n)
+}
+func (b *blockingServices) PassiveDNSIP(a string) ([]string, bool) { return b.inner.PassiveDNSIP(a) }
+func (b *blockingServices) ProbeURL(u string) (URLRecord, bool)    { return b.inner.ProbeURL(u) }
+
+// TestCacheSingleflight drives concurrent misses on one key: the first
+// caller must fetch, every other caller must wait for that fetch and read
+// the cached result, so the backend sees exactly one call.
+func TestCacheSingleflight(t *testing.T) {
+	w := testWorld(t)
+	blocking := &blockingServices{
+		inner:   w,
+		release: make(chan struct{}),
+		entered: make(chan struct{}),
+	}
+	cached := NewCachedServices(blocking)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([]bool, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, ok := cached.LookupIP("203.0.113.9")
+			results[i] = ok
+		}(i)
+	}
+	// Hold the fetch open until it has definitely started, so at least
+	// one other goroutine can reach the in-flight wait path; then let it
+	// finish.
+	<-blocking.entered
+	close(blocking.release)
+	wg.Wait()
+
+	blocking.mu.Lock()
+	calls := blocking.calls
+	blocking.mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("backend saw %d calls for one key, want 1", calls)
+	}
+	_, misses := cached.Stats()
+	if misses != 1 {
+		t.Fatalf("misses=%d, want 1", misses)
+	}
+	for i, ok := range results {
+		if ok != results[0] {
+			t.Fatalf("caller %d got ok=%v, others %v", i, ok, results[0])
+		}
+	}
+}
+
+// fakeLimiterClock rewires a RateLimitedServices onto simulated time.
+func fakeLimiterClock(rl *RateLimitedServices) (slept func() time.Duration) {
+	var mu sync.Mutex
+	var now time.Duration
+	var total time.Duration
+	rl.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return time.Unix(0, int64(now))
+	}
+	rl.sleep = func(d time.Duration) {
+		mu.Lock()
+		now += d
+		total += d
+		mu.Unlock()
+	}
+	rl.last = rl.now()
+	rl.tokens = rl.burst
+	return func() time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		return total
+	}
+}
+
+func TestRateLimiterBurstExhaustion(t *testing.T) {
+	w := testWorld(t)
+	rl := NewRateLimitedServices(w, 10, 3)
+	slept := fakeLimiterClock(rl)
+
+	// The first burst-many calls must pass without any sleep.
+	for i := 0; i < 3; i++ {
+		rl.LookupIP("203.0.113.1")
+	}
+	if s := slept(); s != 0 {
+		t.Fatalf("burst calls slept %v, want 0", s)
+	}
+	// The next call must wait one token period: 1/10s = 100ms.
+	rl.LookupIP("203.0.113.1")
+	if s := slept(); s != 100*time.Millisecond {
+		t.Fatalf("post-burst call slept %v, want 100ms", s)
+	}
+}
+
+func TestRateLimiterRefill(t *testing.T) {
+	w := testWorld(t)
+	rl := NewRateLimitedServices(w, 10, 2)
+	slept := fakeLimiterClock(rl)
+
+	// Drain the burst, then let 250ms of simulated idle time pass:
+	// 2.5 tokens refill (capped at burst 2).
+	rl.LookupIP("a")
+	rl.LookupIP("a")
+	rl.mu.Lock()
+	rl.last = rl.last.Add(-250 * time.Millisecond) // backdate = idle time
+	rl.mu.Unlock()
+
+	base := slept()
+	rl.LookupIP("a") // token available: no sleep
+	rl.LookupIP("a") // second token: no sleep
+	if s := slept(); s != base {
+		t.Fatalf("refilled calls slept %v extra", s-base)
+	}
+	// Refill was capped at burst (2), not 2.5: the next call must wait a
+	// full token period again.
+	rl.LookupIP("a")
+	if s := slept(); s-base != 100*time.Millisecond {
+		t.Fatalf("post-refill call slept %v, want 100ms", s-base)
+	}
+}
+
+func TestRateLimiterConcurrentTake(t *testing.T) {
+	w := testWorld(t)
+	rl := NewRateLimitedServices(w, 100, 4)
+	slept := fakeLimiterClock(rl)
+
+	const workers, perWorker = 8, 5
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				rl.LookupIP("203.0.113.1")
+			}
+		}()
+	}
+	wg.Wait()
+	// 40 calls at 100/s with burst 4: at least 36 token periods of
+	// simulated waiting must have accumulated across workers.
+	min := time.Duration(workers*perWorker-4) * 10 * time.Millisecond
+	if s := slept(); s < min {
+		t.Fatalf("concurrent takes slept %v, want >= %v", s, min)
 	}
 }

@@ -1,0 +1,381 @@
+package osint
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// This file implements the resilience middleware around a
+// FallibleServices: per-attempt timeout accounting, retry with capped
+// exponential backoff and deterministic full jitter, and a per-provider-
+// kind circuit breaker. All timing flows through an injectable Clock, so
+// the full state machine is testable in microseconds with zero
+// wall-clock sleeps, and two runs with the same seed make identical
+// decisions regardless of scheduling.
+
+// ResilienceConfig tunes the middleware. The zero value of any field is
+// replaced by the DefaultResilienceConfig value, except BreakerThreshold
+// where <= 0 disables the breaker entirely.
+type ResilienceConfig struct {
+	// MaxAttempts bounds the number of tries per call (1 = no retries).
+	MaxAttempts int
+	// BaseBackoff is the cap of the first retry's backoff; subsequent
+	// caps double up to MaxBackoff. The actual sleep is drawn uniformly
+	// from [0, cap) — "full jitter" — using a hash of (JitterSeed, op,
+	// key, attempt), so it is deterministic per call site but
+	// decorrelated across keys.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// AttemptTimeout is the per-attempt latency budget. Attempts that
+	// come back slower than this (measured on Clock) are counted as
+	// transient timeout failures and retried, even if the provider
+	// eventually produced data — matching how a deadline-bound collector
+	// would behave.
+	AttemptTimeout time.Duration
+	// JitterSeed makes backoff jitter reproducible.
+	JitterSeed int64
+	// BreakerThreshold is the number of consecutive exhausted calls
+	// (not attempts) after which a provider kind's breaker opens.
+	// <= 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects calls before
+	// allowing a half-open probe.
+	BreakerCooldown time.Duration
+	// Clock drives all timing; nil means WallClock.
+	Clock Clock
+}
+
+// DefaultResilienceConfig returns production-shaped defaults: 4 attempts,
+// 100ms..5s backoff, 2s attempt budget, breaker at 5 consecutive
+// failures with a 30s cooldown.
+func DefaultResilienceConfig() ResilienceConfig {
+	return ResilienceConfig{
+		MaxAttempts:      4,
+		BaseBackoff:      100 * time.Millisecond,
+		MaxBackoff:       5 * time.Second,
+		AttemptTimeout:   2 * time.Second,
+		JitterSeed:       1,
+		BreakerThreshold: 5,
+		BreakerCooldown:  30 * time.Second,
+		Clock:            WallClock,
+	}
+}
+
+// ProviderMetrics counts one provider kind's activity through the
+// middleware.
+type ProviderMetrics struct {
+	// Attempts is the total number of upstream calls issued.
+	Attempts int64
+	// Successes is the number of logical calls that returned data or a
+	// clean miss.
+	Successes int64
+	// Retries is the number of attempts beyond the first.
+	Retries int64
+	// Timeouts is the number of attempts discarded for exceeding the
+	// per-attempt budget.
+	Timeouts int64
+	// Failures is the number of logical calls that exhausted retries or
+	// hit a permanent error.
+	Failures int64
+	// Rejected is the number of calls short-circuited by an open breaker.
+	Rejected int64
+	// Trips is the number of closed->open breaker transitions.
+	Trips int64
+}
+
+// ResilienceMetrics is a snapshot of the middleware counters, indexed by
+// provider kind.
+type ResilienceMetrics struct {
+	PerKind [NumProviderKinds]ProviderMetrics
+}
+
+// Totals sums the per-kind counters.
+func (m *ResilienceMetrics) Totals() ProviderMetrics {
+	var t ProviderMetrics
+	for _, pm := range m.PerKind {
+		t.Attempts += pm.Attempts
+		t.Successes += pm.Successes
+		t.Retries += pm.Retries
+		t.Timeouts += pm.Timeouts
+		t.Failures += pm.Failures
+		t.Rejected += pm.Rejected
+		t.Trips += pm.Trips
+	}
+	return t
+}
+
+// MetricsSource is implemented by services that expose resilience
+// counters; core.TKG snapshots them into its BuildReport.
+type MetricsSource interface {
+	Metrics() ResilienceMetrics
+}
+
+// breaker is a classic three-state circuit breaker for one provider
+// kind. All methods are called under the owner's per-kind mutex.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breaker struct {
+	state       breakerState
+	consecutive int       // consecutive exhausted calls while closed
+	openedAt    time.Time // when the breaker last opened
+	probing     bool      // a half-open probe is in flight
+}
+
+// ResilientServices wraps a FallibleServices with the retry/backoff/
+// breaker middleware. Safe for concurrent use.
+type ResilientServices struct {
+	inner FallibleServices
+	cfg   ResilienceConfig
+
+	mu       [NumProviderKinds]sync.Mutex
+	breakers [NumProviderKinds]breaker
+	metrics  [NumProviderKinds]ProviderMetrics
+}
+
+// NewResilientServices wraps inner with the given config (zero fields
+// take defaults; see ResilienceConfig).
+func NewResilientServices(inner FallibleServices, cfg ResilienceConfig) *ResilientServices {
+	def := DefaultResilienceConfig()
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = def.MaxAttempts
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = def.BaseBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = def.MaxBackoff
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = def.BreakerCooldown
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = WallClock
+	}
+	return &ResilientServices{inner: inner, cfg: cfg}
+}
+
+// Metrics returns a snapshot of the middleware counters.
+func (r *ResilientServices) Metrics() ResilienceMetrics {
+	var m ResilienceMetrics
+	for k := 0; k < NumProviderKinds; k++ {
+		r.mu[k].Lock()
+		m.PerKind[k] = r.metrics[k]
+		r.mu[k].Unlock()
+	}
+	return m
+}
+
+// allow consults the breaker for kind k. It returns an error when the
+// call must be rejected, and whether the permitted call is a half-open
+// probe.
+func (r *ResilientServices) allow(k ProviderKind) (probe bool, err error) {
+	if r.cfg.BreakerThreshold <= 0 {
+		return false, nil
+	}
+	r.mu[k].Lock()
+	defer r.mu[k].Unlock()
+	b := &r.breakers[k]
+	switch b.state {
+	case breakerClosed:
+		return false, nil
+	case breakerOpen:
+		if r.cfg.Clock.Now().Sub(b.openedAt) < r.cfg.BreakerCooldown {
+			r.metrics[k].Rejected++
+			return false, fmt.Errorf("osint: %s: %w", k, ErrCircuitOpen)
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, nil
+	default: // half-open
+		if b.probing {
+			r.metrics[k].Rejected++
+			return false, fmt.Errorf("osint: %s: %w", k, ErrCircuitOpen)
+		}
+		b.probing = true
+		return true, nil
+	}
+}
+
+// settle records the outcome of a permitted call on kind k's breaker.
+func (r *ResilientServices) settle(k ProviderKind, probe, success bool) {
+	if r.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	r.mu[k].Lock()
+	defer r.mu[k].Unlock()
+	b := &r.breakers[k]
+	if probe {
+		b.probing = false
+	}
+	if success {
+		b.state = breakerClosed
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if b.state == breakerHalfOpen || b.consecutive >= r.cfg.BreakerThreshold {
+		if b.state != breakerOpen {
+			r.metrics[k].Trips++
+		}
+		b.state = breakerOpen
+		b.openedAt = r.cfg.Clock.Now()
+		b.consecutive = 0
+	}
+}
+
+// jitterFrac returns a deterministic pseudo-uniform value in [0,1) from
+// the jitter seed and the call coordinates.
+func (r *ResilientServices) jitterFrac(op, key string, attempt int) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i, v := 0, uint64(r.cfg.JitterSeed); i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(op))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	b[0] = byte(attempt)
+	b[1] = byte(attempt >> 8)
+	h.Write(b[:2])
+	return float64(h.Sum64()%(1<<52)) / float64(uint64(1)<<52)
+}
+
+// backoff returns the jittered sleep before retry number attempt (1-based
+// count of retries already implied).
+func (r *ResilientServices) backoff(op, key string, attempt int) time.Duration {
+	cap := r.cfg.BaseBackoff << uint(attempt)
+	if cap > r.cfg.MaxBackoff || cap <= 0 {
+		cap = r.cfg.MaxBackoff
+	}
+	return time.Duration(r.jitterFrac(op, key, attempt) * float64(cap))
+}
+
+// do runs one logical call with the full middleware stack. The breaker is
+// consulted once per logical call, and only calls that exhaust their
+// retries (or hit a permanent error) count against it — a call that
+// recovers on retry is evidence of a healthy-if-flaky provider, not of an
+// outage.
+func (r *ResilientServices) do(ctx context.Context, k ProviderKind, op, key string, call func(context.Context) error) error {
+	probe, err := r.allow(k)
+	if err != nil {
+		return err
+	}
+	clock := r.cfg.Clock
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		r.mu[k].Lock()
+		r.metrics[k].Attempts++
+		if attempt > 0 {
+			r.metrics[k].Retries++
+		}
+		r.mu[k].Unlock()
+
+		start := clock.Now()
+		err = call(ctx)
+		elapsed := clock.Now().Sub(start)
+		if err == nil && r.cfg.AttemptTimeout > 0 && elapsed >= r.cfg.AttemptTimeout {
+			r.mu[k].Lock()
+			r.metrics[k].Timeouts++
+			r.mu[k].Unlock()
+			err = &ProviderError{Kind: k, Op: op, Key: key,
+				Err: fmt.Errorf("%w after %v (budget %v): %w", ErrAttemptTimeout, elapsed, r.cfg.AttemptTimeout, ErrTransient)}
+		}
+		if err == nil {
+			r.settle(k, probe, true)
+			r.mu[k].Lock()
+			r.metrics[k].Successes++
+			r.mu[k].Unlock()
+			return nil
+		}
+		lastErr = err
+		if cerr := ctx.Err(); cerr != nil {
+			lastErr = cerr
+			break
+		}
+		if !IsTransient(err) {
+			break
+		}
+		if attempt+1 < r.cfg.MaxAttempts {
+			if serr := clock.Sleep(ctx, r.backoff(op, key, attempt)); serr != nil {
+				lastErr = serr
+				break
+			}
+		}
+	}
+	r.settle(k, probe, false)
+	r.mu[k].Lock()
+	r.metrics[k].Failures++
+	r.mu[k].Unlock()
+	return lastErr
+}
+
+// LookupIP implements FallibleServices.
+func (r *ResilientServices) LookupIP(ctx context.Context, addr string) (IPRecord, bool, error) {
+	var rec IPRecord
+	var ok bool
+	err := r.do(ctx, ProviderIPLookup, "LookupIP", addr, func(ctx context.Context) error {
+		var cerr error
+		rec, ok, cerr = r.inner.LookupIP(ctx, addr)
+		return cerr
+	})
+	if err != nil {
+		return IPRecord{}, false, err
+	}
+	return rec, ok, nil
+}
+
+// PassiveDNSDomain implements FallibleServices.
+func (r *ResilientServices) PassiveDNSDomain(ctx context.Context, name string) (DomainRecord, bool, error) {
+	var rec DomainRecord
+	var ok bool
+	err := r.do(ctx, ProviderPassiveDNS, "PassiveDNSDomain", name, func(ctx context.Context) error {
+		var cerr error
+		rec, ok, cerr = r.inner.PassiveDNSDomain(ctx, name)
+		return cerr
+	})
+	if err != nil {
+		return DomainRecord{}, false, err
+	}
+	return rec, ok, nil
+}
+
+// PassiveDNSIP implements FallibleServices.
+func (r *ResilientServices) PassiveDNSIP(ctx context.Context, addr string) ([]string, bool, error) {
+	var doms []string
+	var ok bool
+	err := r.do(ctx, ProviderPassiveDNS, "PassiveDNSIP", addr, func(ctx context.Context) error {
+		var cerr error
+		doms, ok, cerr = r.inner.PassiveDNSIP(ctx, addr)
+		return cerr
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return doms, ok, nil
+}
+
+// ProbeURL implements FallibleServices.
+func (r *ResilientServices) ProbeURL(ctx context.Context, url string) (URLRecord, bool, error) {
+	var rec URLRecord
+	var ok bool
+	err := r.do(ctx, ProviderURLProbe, "ProbeURL", url, func(ctx context.Context) error {
+		var cerr error
+		rec, ok, cerr = r.inner.ProbeURL(ctx, url)
+		return cerr
+	})
+	if err != nil {
+		return URLRecord{}, false, err
+	}
+	return rec, ok, nil
+}

@@ -158,7 +158,9 @@ func (w *World) buildInfrastructure() {
 	var allASNs []int
 	for i, p := range w.roster {
 		gs := &groupState{profile: p}
-		for c := range p.HostCountryWeights {
+		// Sorted iteration: the loop body draws from the rng, so random
+		// map order would scramble the ASN assignment per process run.
+		for _, c := range sortedKeys(p.HostCountryWeights) {
 			// Hosting providers serve many tenants: with some probability
 			// a group rents space in an ASN another group already uses,
 			// which is what keeps 4-hop ASN paths from being a pure
@@ -573,8 +575,10 @@ func (w *World) newGroupURL(gs *groupState, month int) string {
 		codes := []int{404, 410, 503, 403}
 		code = codes[w.rng.Intn(len(codes))]
 	}
+	// Sorted iteration: ranging the map directly would pair each rng draw
+	// with a different service on every run of the process.
 	var svcs []string
-	for s := range p.ServiceWeights {
+	for _, s := range sortedKeys(p.ServiceWeights) {
 		if w.rng.Float64() < 0.6 {
 			svcs = append(svcs, s)
 		}
@@ -660,21 +664,26 @@ func (w *World) uniqueDomain(gen func() string) string {
 
 // weighted samples a key from a weight map.
 func (w *World) weighted(weights map[string]float64) string {
+	// Map iteration order is random per run of the process; to keep the
+	// world deterministic in the seed, both the total (float addition is
+	// not associative, and an ulp shift in total can flip a boundary
+	// draw) and the selection scan iterate keys in sorted order.
+	keys := sortedKeys(weights)
 	total := 0.0
-	for _, v := range weights {
-		total += v
+	for _, k := range keys {
+		total += weights[k]
 	}
 	r := w.rng.Float64() * total
-	// Map iteration order is random per run of the process; to keep the
-	// world deterministic in the seed, iterate keys in sorted order.
-	for _, k := range sortedKeys(weights) {
+	for _, k := range keys {
 		r -= weights[k]
 		if r <= 0 {
 			return k
 		}
 	}
-	for k := range weights {
-		return k
+	// Rounding can leave r marginally positive after the scan; fall back
+	// to the last key deterministically rather than a map-order pick.
+	if len(keys) > 0 {
+		return keys[len(keys)-1]
 	}
 	return ""
 }
