@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-kernels vet chaos
+.PHONY: all build test race bench bench-kernels vet chaos resume
 
 all: build test
 
@@ -24,6 +24,14 @@ race:
 # the chaos-gated tests, vs 20% in a plain `make test`). See DESIGN.md §3c.
 chaos:
 	TRAIL_CHAOS=0.5 $(GO) test -count=1 ./internal/osint/... ./internal/core/...
+
+# resume is the crash-recovery gate: the checkpoint envelope's corruption
+# matrix, the kill-at-every-epoch bit-identity harness, and the journaled
+# experiment-sweep replays. See DESIGN.md §3d.
+resume:
+	$(GO) test -count=1 ./internal/ckpt/...
+	$(GO) test -count=1 -run 'Resume|Checkpoint|Corrupt|Truncat|Journal|Skew|Divergence|Persist|Deterministic|FineTune' \
+		./internal/gnn/ ./internal/hyperopt/ ./internal/eval/ ./internal/core/ ./internal/graph/
 
 bench:
 	$(GO) test -bench=. -benchmem

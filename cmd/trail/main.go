@@ -8,19 +8,27 @@
 //	trail world       [-seed N] [-months N] [-events N] [-out pulses.ndjson]
 //	trail build       [-seed N] [-months N] [-events N] [-out tkg.gob]
 //	trail stats       [-seed N] [-months N] [-events N]
+//	trail train       [-seed N] [-layers N] [-epochs N] [-dir ckpt] [-resume] [-every N]
 //	trail casestudy   [-seed N] [-fast]
-//	trail experiments [-seed N] [-fast] [-only table2,fig4,...] [-md EXPERIMENTS.md]
+//	trail experiments [-seed N] [-fast] [-only table2,fig4,...] [-resume DIR] [-md EXPERIMENTS.md]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"trail/internal/core"
 	"trail/internal/eval"
+	"trail/internal/gnn"
 	"trail/internal/graph"
 	"trail/internal/labelprop"
 	"trail/internal/osint"
@@ -40,6 +48,8 @@ func main() {
 		err = cmdBuild(args)
 	case "stats":
 		err = cmdStats(args)
+	case "train":
+		err = cmdTrain(args)
 	case "attribute":
 		err = cmdAttribute(args)
 	case "casestudy":
@@ -66,6 +76,7 @@ commands:
   world        generate the synthetic OSINT pulse feed (NDJSON)
   build        build the TRAIL knowledge graph and save a full snapshot
   stats        print the Table II dataset report and graph structure
+  train        train the production GNN with interrupt-safe checkpoints
   attribute    attribute pulses from a feed against a TKG snapshot
   casestudy    attribute a never-seen event (paper §VII-C)
   experiments  run every table/figure of the evaluation
@@ -203,6 +214,125 @@ func cmdAttribute(args []string) error {
 	return nil
 }
 
+// cmdTrain trains the production GNN (encoders + GraphSAGE) with
+// interrupt-safe, epoch-granular checkpoints. SIGINT/SIGTERM cancel the
+// context; the training loops write one final checkpoint before exiting,
+// and a later run with -resume continues to bit-identical final weights.
+func cmdTrain(args []string) error {
+	fs2 := flag.NewFlagSet("train", flag.ExitOnError)
+	cfg := worldFlags(fs2)
+	layers := fs2.Int("layers", 2, "GraphSAGE message-passing depth")
+	epochs := fs2.Int("epochs", 60, "training epochs")
+	fast := fs2.Bool("fast", false, "small models for a quick run")
+	dir := fs2.String("dir", "trail-ckpt", "checkpoint directory")
+	resume := fs2.Bool("resume", false, "resume from checkpoints in -dir")
+	every := fs2.Int("every", 1, "epochs between checkpoints")
+	fs2.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	encPath := filepath.Join(*dir, "encoders.ck")
+	trainPath := filepath.Join(*dir, "train.ck")
+	modelPath := filepath.Join(*dir, "model.ck")
+
+	opts := eval.DefaultOptions()
+	opts.World = *cfg
+	opts.Fast = *fast
+	ectx, err := eval.NewContext(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("TKG ready: %d nodes, %d events\n", ectx.TKG.G.NumNodes(), len(ectx.TKG.EventNodes()))
+
+	// A resumed run keeps the checkpointed config's epoch budget (the flag
+	// is ignored — changing it would break bit-identical resume), so the
+	// progress prints track the effective total.
+	totalEpochs := *epochs
+	interrupted := func() error {
+		fmt.Printf("\ninterrupted — checkpoints saved under %s\n", *dir)
+		fmt.Printf("resume with: trail train -seed %d -layers %d -epochs %d -dir %s -resume\n",
+			cfg.Seed, *layers, totalEpochs, *dir)
+		return nil
+	}
+
+	// Phase 1: per-IOC-kind autoencoders, resumable at kind granularity.
+	aeCfg := gnn.DefaultAEConfig()
+	if *fast {
+		aeCfg.Epochs = 2
+		aeCfg.Hidden = 32
+	}
+	encOpts := gnn.EncoderTrainOpts{
+		Checkpoint: func(partial *gnn.EncoderSet) error {
+			return gnn.SaveEncoders(encPath, partial)
+		},
+	}
+	if *resume {
+		if prev, err := gnn.LoadEncoders(encPath); err == nil {
+			encOpts.Resume = prev
+			fmt.Printf("resuming encoders: %d kind(s) already trained\n", len(prev.AEs))
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("encoder checkpoint unusable: %w", err)
+		}
+	}
+	set, err := gnn.TrainEncodersCtx(ctx, ectx.TKG.G, ectx.TKG.Features, aeCfg, encOpts)
+	if errors.Is(err, context.Canceled) {
+		return interrupted()
+	}
+	if err != nil {
+		return err
+	}
+	if err := gnn.SaveEncoders(encPath, set); err != nil {
+		return err
+	}
+	fmt.Printf("encoders trained (%d kinds), checkpointed to %s\n", len(set.AEs), encPath)
+
+	// Phase 2: the GraphSAGE classifier, resumable at epoch granularity.
+	in := gnn.BuildInput(ectx.TKG.G, ectx.TKG.Features, set, ectx.Classes)
+	gcfg := gnn.Config{
+		Layers: *layers, Hidden: 64, Encoding: aeCfg.Encoding,
+		LR: 1e-2, Epochs: *epochs, Seed: opts.Seed,
+	}
+	if *fast {
+		gcfg.Hidden = 16
+	}
+	tOpts := gnn.TrainOpts{
+		Ctx:             ctx,
+		CheckpointEvery: *every,
+		Checkpoint: func(st *gnn.TrainState) error {
+			fmt.Printf("  epoch %d/%d checkpointed\n", st.Epoch, totalEpochs)
+			return gnn.SaveTrainState(trainPath, st)
+		},
+	}
+	if *resume {
+		if st, err := gnn.LoadTrainState(trainPath); err == nil {
+			tOpts.Resume = st
+			if st.SAGE != nil {
+				totalEpochs = st.SAGE.Config.Epochs
+			}
+			fmt.Printf("resuming GNN training from epoch %d/%d\n", st.Epoch, totalEpochs)
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("training checkpoint unusable: %w", err)
+		}
+	}
+	model, err := gnn.TrainCtx(in, ectx.TKG.EventNodes(), gcfg, tOpts)
+	if errors.Is(err, context.Canceled) {
+		return interrupted()
+	}
+	if err != nil {
+		return err
+	}
+	if err := gnn.SaveModel(modelPath, model); err != nil {
+		return err
+	}
+	os.Remove(trainPath) // the run is complete; the mid-training state is obsolete
+	fmt.Println("model written to", modelPath)
+	return nil
+}
+
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	cfg := worldFlags(fs)
@@ -251,11 +381,18 @@ func cmdExperiments(args []string) error {
 	fast := fs.Bool("fast", false, "small models for a quick run")
 	only := fs.String("only", "", "comma-separated subset: table2,fig3,fig4,graph,table3,table4,case,fig7,fig8,fig9,fig10,ablations,unknown,zeroshot,tuning,robust")
 	md := fs.String("md", "", "also write the paper-vs-measured record to this markdown file")
+	resumeDir := fs.String("resume", "", "journal sweep results under this directory and skip completed units on rerun")
 	fs.Parse(args)
 
 	opts := eval.DefaultOptions()
 	opts.World = *cfg
 	opts.Fast = *fast
+	if *resumeDir != "" {
+		if err := os.MkdirAll(*resumeDir, 0o755); err != nil {
+			return err
+		}
+		opts.ResumeDir = *resumeDir
+	}
 	ctx, err := eval.NewContext(opts)
 	if err != nil {
 		return err

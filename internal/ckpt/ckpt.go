@@ -1,0 +1,225 @@
+// Package ckpt implements the durable checkpoint layer shared by every
+// long-running artefact in the repository: trained models, optimiser
+// state, TKG snapshots and experiment journals.
+//
+// A checkpoint is a single file holding one payload inside a small binary
+// envelope:
+//
+//	magic   [8]byte  "TRAILCK1"          (envelope format identifier)
+//	kindLen u16      little-endian
+//	kind    []byte   e.g. "gnn.model", "core.tkg"
+//	version u32      payload schema version, owned by the caller
+//	length  u64      payload byte count
+//	crc     u32      CRC-32C (Castagnoli) of the payload
+//	payload []byte
+//
+// The envelope buys three guarantees the bare gob files it replaces did
+// not have: corruption is *detected* (truncation and bit flips surface as
+// typed errors, never as garbage structs), version skew is *reported*
+// (old snapshots produce a VersionError instead of a decode panic), and
+// writes are *atomic* (temp file in the target directory, fsync, rename),
+// so a crash mid-save can never destroy the previous checkpoint.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// magic identifies the envelope format. Bump the trailing digit if the
+// header layout ever changes.
+var magic = [8]byte{'T', 'R', 'A', 'I', 'L', 'C', 'K', '1'}
+
+// maxKindLen bounds the kind string so a corrupted length field cannot
+// request an absurd read.
+const maxKindLen = 255
+
+// Typed failure modes. ErrTruncated wraps ErrCorrupt, so callers that
+// only care about "this file is damaged" can match ErrCorrupt alone.
+var (
+	// ErrNotCheckpoint reports a file that does not start with the
+	// envelope magic — not a checkpoint at all, or one written by a
+	// pre-envelope release.
+	ErrNotCheckpoint = errors.New("ckpt: not a checkpoint file")
+	// ErrCorrupt reports a structurally damaged checkpoint (checksum
+	// mismatch, impossible header fields).
+	ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+	// ErrTruncated reports a checkpoint cut short (crash mid-write to a
+	// non-atomic medium, partial copy). It matches ErrCorrupt too.
+	ErrTruncated = fmt.Errorf("%w: truncated", ErrCorrupt)
+)
+
+// VersionError reports a payload schema version other than the one the
+// caller supports.
+type VersionError struct {
+	Kind      string
+	Got, Want uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("ckpt: %s checkpoint version %d, this build reads version %d", e.Kind, e.Got, e.Want)
+}
+
+// KindError reports an envelope holding a different artefact than the
+// caller asked for (e.g. loading a TKG snapshot as a model).
+type KindError struct {
+	Got, Want string
+}
+
+func (e *KindError) Error() string {
+	return fmt.Sprintf("ckpt: checkpoint holds %q, want %q", e.Got, e.Want)
+}
+
+// Write emits one envelope to w.
+func Write(w io.Writer, kind string, version uint32, payload []byte) error {
+	if len(kind) == 0 || len(kind) > maxKindLen {
+		return fmt.Errorf("ckpt: invalid kind %q", kind)
+	}
+	var hdr bytes.Buffer
+	hdr.Write(magic[:])
+	binary.Write(&hdr, binary.LittleEndian, uint16(len(kind)))
+	hdr.WriteString(kind)
+	binary.Write(&hdr, binary.LittleEndian, version)
+	binary.Write(&hdr, binary.LittleEndian, uint64(len(payload)))
+	binary.Write(&hdr, binary.LittleEndian, crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return fmt.Errorf("ckpt: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("ckpt: write payload: %w", err)
+	}
+	return nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Read parses one envelope from r, validating magic, kind, version and
+// checksum, and returns the payload. Damage is reported via the typed
+// errors above; Read never returns unverified bytes.
+func Read(r io.Reader, kind string, wantVersion uint32) ([]byte, error) {
+	var m [8]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if m != magic {
+		return nil, ErrNotCheckpoint
+	}
+	var kindLen uint16
+	if err := binary.Read(r, binary.LittleEndian, &kindLen); err != nil {
+		return nil, fmt.Errorf("%w: kind length: %v", ErrTruncated, err)
+	}
+	if kindLen == 0 || kindLen > maxKindLen {
+		return nil, fmt.Errorf("%w: kind length %d out of range", ErrCorrupt, kindLen)
+	}
+	kindBuf := make([]byte, kindLen)
+	if _, err := io.ReadFull(r, kindBuf); err != nil {
+		return nil, fmt.Errorf("%w: kind: %v", ErrTruncated, err)
+	}
+	if got := string(kindBuf); got != kind {
+		return nil, &KindError{Got: got, Want: kind}
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: version: %v", ErrTruncated, err)
+	}
+	if version != wantVersion {
+		return nil, &VersionError{Kind: kind, Got: version, Want: wantVersion}
+	}
+	var length uint64
+	if err := binary.Read(r, binary.LittleEndian, &length); err != nil {
+		return nil, fmt.Errorf("%w: length: %v", ErrTruncated, err)
+	}
+	var sum uint32
+	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+		return nil, fmt.Errorf("%w: checksum: %v", ErrTruncated, err)
+	}
+	// Copy incrementally so a bit-flipped length field cannot demand one
+	// absurd allocation; a short file surfaces as truncation either way.
+	var payload bytes.Buffer
+	if n, err := io.CopyN(&payload, r, int64(length)); err != nil {
+		return nil, fmt.Errorf("%w: payload %d/%d bytes: %v", ErrTruncated, n, length, err)
+	}
+	if got := crc32.Checksum(payload.Bytes(), crcTable); got != sum {
+		return nil, fmt.Errorf("%w: payload CRC %08x, header says %08x", ErrCorrupt, got, sum)
+	}
+	return payload.Bytes(), nil
+}
+
+// Save writes the envelope to path atomically: a temp file in the same
+// directory, fsync, then rename over the target. A crash at any point
+// leaves either the old checkpoint or the new one, never a mix.
+func Save(path, kind string, version uint32, payload []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ckpt: save: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := Write(f, kind, version, payload); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("ckpt: save: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: save: %w", err)
+	}
+	// Persist the rename itself; best-effort, some filesystems refuse
+	// directory fsync.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads and verifies the envelope at path.
+func Load(path, kind string, wantVersion uint32) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: load: %w", err)
+	}
+	defer f.Close()
+	return Read(f, kind, wantVersion)
+}
+
+// SaveGob gob-encodes v and saves it under the envelope.
+func SaveGob(path, kind string, version uint32, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("ckpt: encode %s: %w", kind, err)
+	}
+	return Save(path, kind, version, buf.Bytes())
+}
+
+// LoadGob loads the envelope at path and gob-decodes its payload into
+// out. A payload that passed the checksum but still fails to decode is
+// reported as corrupt (this should only happen across incompatible
+// builds that forgot to bump the version).
+func LoadGob(path, kind string, version uint32, out any) error {
+	payload, err := Load(path, kind, version)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
+		return fmt.Errorf("%w: %s payload: %v", ErrCorrupt, kind, err)
+	}
+	return nil
+}

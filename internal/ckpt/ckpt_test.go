@@ -1,0 +1,194 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	var buf bytes.Buffer
+	if err := Write(&buf, "test.kind", 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), "test.kind", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload changed: %q", got)
+	}
+}
+
+func TestEnvelopeEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "k", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), "k", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("want empty payload, got %d bytes", len(got))
+	}
+}
+
+// TestEnvelopeTruncationAtEveryOffset cuts the file at every possible
+// length and demands a typed error, never success and never a panic.
+func TestEnvelopeTruncationAtEveryOffset(t *testing.T) {
+	payload := []byte("some checkpoint payload bytes")
+	var buf bytes.Buffer
+	if err := Write(&buf, "trunc", 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		_, err := Read(bytes.NewReader(full[:n]), "trunc", 1)
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", n, len(full))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: error %v does not match ErrCorrupt", n, err)
+		}
+	}
+}
+
+// TestEnvelopeBitFlipAtEveryByte flips one bit in every byte of the file
+// and demands a typed error (corruption, kind skew or version skew —
+// depending on which header field was hit), never unverified payload.
+func TestEnvelopeBitFlipAtEveryByte(t *testing.T) {
+	payload := []byte("bit flip fodder: 0123456789abcdef")
+	var buf bytes.Buffer
+	if err := Write(&buf, "flip", 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := range full {
+		dam := append([]byte(nil), full...)
+		dam[i] ^= 0x40
+		got, err := Read(bytes.NewReader(dam), "flip", 7)
+		if err == nil {
+			t.Fatalf("bit flip at byte %d went undetected (payload %q)", i, got)
+		}
+		var vErr *VersionError
+		var kErr *KindError
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrNotCheckpoint) &&
+			!errors.As(err, &vErr) && !errors.As(err, &kErr) {
+			t.Fatalf("bit flip at byte %d: untyped error %v", i, err)
+		}
+	}
+}
+
+func TestEnvelopeKindAndVersionSkew(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "model", 2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Read(bytes.NewReader(buf.Bytes()), "graph", 2)
+	var kErr *KindError
+	if !errors.As(err, &kErr) || kErr.Got != "model" || kErr.Want != "graph" {
+		t.Fatalf("kind skew: got %v", err)
+	}
+	_, err = Read(bytes.NewReader(buf.Bytes()), "model", 9)
+	var vErr *VersionError
+	if !errors.As(err, &vErr) || vErr.Got != 2 || vErr.Want != 9 {
+		t.Fatalf("version skew: got %v", err)
+	}
+	if !strings.Contains(vErr.Error(), "version 2") {
+		t.Fatalf("version error message unhelpful: %v", vErr)
+	}
+}
+
+func TestEnvelopeRejectsForeignFile(t *testing.T) {
+	_, err := Read(strings.NewReader("just some text file, definitely not a checkpoint"), "k", 1)
+	if !errors.Is(err, ErrNotCheckpoint) {
+		t.Fatalf("got %v, want ErrNotCheckpoint", err)
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	if err := Save(path, "m", 1, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite: the old checkpoint must be replaced wholesale.
+	if err := Save(path, "m", 1, []byte("v2 with different length")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, "m", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2 with different length" {
+		t.Fatalf("got %q", got)
+	}
+	// No temp debris.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		for _, e := range ents {
+			t.Logf("left behind: %s", e.Name())
+		}
+		t.Fatalf("save left %d files in dir, want 1", len(ents))
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "nope.ckpt"), "m", 1)
+	if err == nil || !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("got %v, want wrapped os.ErrNotExist", err)
+	}
+}
+
+func TestSaveLoadGob(t *testing.T) {
+	type rec struct {
+		Name string
+		Vals []float64
+	}
+	path := filepath.Join(t.TempDir(), "rec.ckpt")
+	in := rec{Name: "alpha", Vals: []float64{1.5, -2.25, 3}}
+	if err := SaveGob(path, "rec", 4, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out rec
+	if err := LoadGob(path, "rec", 4, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || len(out.Vals) != 3 || out.Vals[1] != -2.25 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+}
+
+func TestCorruptFileOnDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	if err := Save(path, "c", 1, bytes.Repeat([]byte{0xAB}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte deep in the payload.
+	raw[len(raw)-5] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, "c", 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+	// Truncate the file.
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, "c", 1); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v, want ErrTruncated", err)
+	}
+}

@@ -1,0 +1,184 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only log of completed work units, used by the
+// experiment runners to make long sweeps resumable: each finished unit is
+// recorded under a string key, and a rerun skips every key already
+// present. Records carry their own CRC, so a crash mid-append loses at
+// most the half-written tail record — OpenJournal truncates the file back
+// to the last intact record and the unit is simply recomputed.
+//
+// Record layout (little-endian):
+//
+//	magic   [4]byte "JRN1"
+//	keyLen  u16
+//	payLen  u32
+//	crc     u32    CRC-32C over key bytes followed by payload bytes
+//	key     []byte
+//	payload []byte
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string][]byte
+	// DroppedTail reports whether OpenJournal discarded a damaged tail
+	// record (evidence of a crash mid-append).
+	DroppedTail bool
+}
+
+var journalMagic = [4]byte{'J', 'R', 'N', '1'}
+
+// maxJournalKey bounds key length so damaged length fields fail fast.
+const maxJournalKey = 4096
+
+// OpenJournal opens (creating if absent) the journal at path, replaying
+// every intact record into memory. A corrupt or truncated tail is cut
+// off; corruption anywhere before the tail is a hard error, because
+// records after it can no longer be trusted to be complete.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: open journal: %w", err)
+	}
+	j := &Journal{f: f, done: make(map[string][]byte)}
+	offset := int64(0)
+	for {
+		rec, key, payload, err := readRecord(f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Damaged record: drop it and everything after it.
+			j.DroppedTail = true
+			if terr := f.Truncate(offset); terr != nil {
+				f.Close()
+				return nil, fmt.Errorf("ckpt: truncate damaged journal tail: %w", terr)
+			}
+			break
+		}
+		j.done[key] = payload
+		offset += rec
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ckpt: seek journal: %w", err)
+	}
+	return j, nil
+}
+
+// readRecord reads one record, returning its on-disk size, key and
+// payload. io.EOF at the record boundary means a clean end; any other
+// failure means a damaged tail.
+func readRecord(r io.Reader) (size int64, key string, payload []byte, err error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		if err == io.EOF {
+			return 0, "", nil, io.EOF
+		}
+		return 0, "", nil, fmt.Errorf("%w: journal record header: %v", ErrTruncated, err)
+	}
+	if m != journalMagic {
+		return 0, "", nil, fmt.Errorf("%w: bad journal record magic", ErrCorrupt)
+	}
+	var keyLen uint16
+	var payLen, sum uint32
+	if err := binary.Read(r, binary.LittleEndian, &keyLen); err != nil {
+		return 0, "", nil, fmt.Errorf("%w: journal key length: %v", ErrTruncated, err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &payLen); err != nil {
+		return 0, "", nil, fmt.Errorf("%w: journal payload length: %v", ErrTruncated, err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+		return 0, "", nil, fmt.Errorf("%w: journal checksum: %v", ErrTruncated, err)
+	}
+	if keyLen == 0 || keyLen > maxJournalKey {
+		return 0, "", nil, fmt.Errorf("%w: journal key length %d out of range", ErrCorrupt, keyLen)
+	}
+	buf := make([]byte, int(keyLen)+int(payLen))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, "", nil, fmt.Errorf("%w: journal record body: %v", ErrTruncated, err)
+	}
+	if got := crc32.Checksum(buf, crcTable); got != sum {
+		return 0, "", nil, fmt.Errorf("%w: journal record CRC mismatch", ErrCorrupt)
+	}
+	return int64(4 + 2 + 4 + 4 + len(buf)), string(buf[:keyLen]), buf[keyLen:], nil
+}
+
+// Done reports whether key has a recorded result, returning its payload.
+func (j *Journal) Done(key string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p, ok := j.done[key]
+	return p, ok
+}
+
+// Len returns the number of recorded units.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Record appends a completed unit and fsyncs, so a unit acknowledged as
+// journaled survives an immediate crash.
+func (j *Journal) Record(key string, payload []byte) error {
+	if len(key) == 0 || len(key) > maxJournalKey {
+		return fmt.Errorf("ckpt: invalid journal key %q", key)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var rec bytes.Buffer
+	rec.Write(journalMagic[:])
+	binary.Write(&rec, binary.LittleEndian, uint16(len(key)))
+	binary.Write(&rec, binary.LittleEndian, uint32(len(payload)))
+	body := append([]byte(key), payload...)
+	binary.Write(&rec, binary.LittleEndian, crc32.Checksum(body, crcTable))
+	rec.Write(body)
+	if _, err := j.f.Write(rec.Bytes()); err != nil {
+		return fmt.Errorf("ckpt: append journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("ckpt: sync journal: %w", err)
+	}
+	j.done[key] = append([]byte(nil), payload...)
+	return nil
+}
+
+// RecordGob gob-encodes v as the payload for key.
+func (j *Journal) RecordGob(key string, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("ckpt: encode journal entry %q: %w", key, err)
+	}
+	return j.Record(key, buf.Bytes())
+}
+
+// DoneGob decodes the recorded payload for key into out, reporting
+// whether the key was present. A present-but-undecodable payload is
+// returned as an error (schema drift between runs).
+func (j *Journal) DoneGob(key string, out any) (bool, error) {
+	p, ok := j.Done(key)
+	if !ok {
+		return false, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(out); err != nil {
+		return true, fmt.Errorf("%w: journal entry %q: %v", ErrCorrupt, key, err)
+	}
+	return true, nil
+}
+
+// Close releases the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,156 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("fresh journal has %d entries", j.Len())
+	}
+	if err := j.Record("unit-1", []byte("r1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("unit-2", []byte("r2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 || j2.DroppedTail {
+		t.Fatalf("reopen: len %d dropped %v", j2.Len(), j2.DroppedTail)
+	}
+	if p, ok := j2.Done("unit-1"); !ok || string(p) != "r1" {
+		t.Fatalf("unit-1: %q %v", p, ok)
+	}
+	if _, ok := j2.Done("unit-3"); ok {
+		t.Fatal("phantom unit-3")
+	}
+	// Appending after reopen must work.
+	if err := j2.Record("unit-3", []byte("r3")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalDropsTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("a", []byte("payload-a"))
+	j.Record("b", []byte("payload-b"))
+	j.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: cut into the second record.
+	if err := os.WriteFile(path, raw[:len(raw)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j2.DroppedTail {
+		t.Fatal("damaged tail not reported")
+	}
+	if _, ok := j2.Done("a"); !ok {
+		t.Fatal("intact record lost")
+	}
+	if _, ok := j2.Done("b"); ok {
+		t.Fatal("damaged record replayed")
+	}
+	// Re-recording the lost unit lands after the truncation point.
+	if err := j2.Record("b", []byte("payload-b2")); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if p, ok := j3.Done("b"); !ok || string(p) != "payload-b2" {
+		t.Fatalf("re-recorded unit: %q %v", p, ok)
+	}
+	if j3.DroppedTail {
+		t.Fatal("clean journal reports a dropped tail")
+	}
+}
+
+func TestJournalDropsBitFlippedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("a", []byte("payload-a"))
+	j.Record("b", []byte("payload-b"))
+	j.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x10 // damage the final record's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.DroppedTail {
+		t.Fatal("bit-flipped tail not dropped")
+	}
+	if _, ok := j2.Done("b"); ok {
+		t.Fatal("bit-flipped record replayed")
+	}
+	if _, ok := j2.Done("a"); !ok {
+		t.Fatal("intact record lost")
+	}
+}
+
+func TestJournalGobHelpers(t *testing.T) {
+	type point struct {
+		Rate float64
+		Acc  float64
+	}
+	path := filepath.Join(t.TempDir(), "g.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.RecordGob("p0", point{Rate: 0.1, Acc: 0.93}); err != nil {
+		t.Fatal(err)
+	}
+	var out point
+	ok, err := j.DoneGob("p0", &out)
+	if err != nil || !ok {
+		t.Fatalf("DoneGob: %v %v", ok, err)
+	}
+	if out.Rate != 0.1 || out.Acc != 0.93 {
+		t.Fatalf("decoded %+v", out)
+	}
+	if ok, _ := j.DoneGob("missing", &out); ok {
+		t.Fatal("phantom entry")
+	}
+}

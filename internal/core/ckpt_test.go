@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trail/internal/ckpt"
+)
+
+// TestTKGSnapshotDeterministic: two serialisations of the same TKG are
+// byte-identical (map iteration must not leak into the snapshot).
+func TestTKGSnapshotDeterministic(t *testing.T) {
+	tkg, _ := buildTestTKG(t)
+	var a, b bytes.Buffer
+	if _, err := tkg.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tkg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("TKG snapshot bytes are nondeterministic")
+	}
+}
+
+// TestTKGVersionSkew: a snapshot written under a future envelope version
+// is rejected with a typed *ckpt.VersionError, never a panic or a
+// misdecode.
+func TestTKGVersionSkew(t *testing.T) {
+	tkg, w := buildTestTKG(t)
+	var buf bytes.Buffer
+	if _, err := tkg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tkg.ck")
+	if err := ckpt.Save(path, TKGCheckpointKind, tkgSnapshotVersion+1, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var verr *ckpt.VersionError
+	if _, err := LoadTKG(path, w, w.Resolver()); !errors.As(err, &verr) {
+		t.Fatalf("want *ckpt.VersionError, got %v", err)
+	}
+}
+
+// TestTKGKindSkew: a checkpoint of a different artefact kind is rejected
+// with a typed *ckpt.KindError.
+func TestTKGKindSkew(t *testing.T) {
+	tkg, w := buildTestTKG(t)
+	path := filepath.Join(t.TempDir(), "g.ck")
+	if err := tkg.G.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	var kerr *ckpt.KindError
+	if _, err := LoadTKG(path, w, w.Resolver()); !errors.As(err, &kerr) {
+		t.Fatalf("want *ckpt.KindError, got %v", err)
+	}
+}
+
+// TestTKGFileCorruption: bit flips and truncation in a saved TKG file
+// surface as the ckpt package's typed corruption errors.
+func TestTKGFileCorruption(t *testing.T) {
+	tkg, w := buildTestTKG(t)
+	path := filepath.Join(t.TempDir(), "tkg.ck")
+	if err := tkg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)*3/4] ^= 0x10
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTKG(path, w, w.Resolver()); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Fatalf("bit flip: want ErrCorrupt, got %v", err)
+	}
+
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTKG(path, w, w.Resolver()); !errors.Is(err, ckpt.ErrTruncated) {
+		t.Fatalf("truncation: want ErrTruncated, got %v", err)
+	}
+}

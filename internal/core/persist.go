@@ -2,12 +2,14 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
-	"os"
+	"sort"
 
 	"trail/internal/apt"
+	"trail/internal/ckpt"
 	"trail/internal/graph"
 	"trail/internal/osint"
 )
@@ -39,16 +41,30 @@ func (t *TKG) WriteTo(w io.Writer) (int64, error) {
 		Config:        t.Config,
 		SkippedPulses: t.SkippedPulses,
 	}
-	for id, vec := range t.Features {
-		snap.FeatureIDs = append(snap.FeatureIDs, id)
-		snap.FeatureVecs = append(snap.FeatureVecs, vec)
+	// Maps are walked in sorted ID order so two snapshots of the same TKG
+	// are byte-identical — the checksummed checkpoint layer (and any
+	// content-addressed storage above it) depends on deterministic bytes.
+	featIDs := make([]graph.NodeID, 0, len(t.Features))
+	for id := range t.Features {
+		featIDs = append(featIDs, id)
 	}
-	for id, set := range t.eventAPTs {
+	sort.Slice(featIDs, func(i, j int) bool { return featIDs[i] < featIDs[j] })
+	for _, id := range featIDs {
+		snap.FeatureIDs = append(snap.FeatureIDs, id)
+		snap.FeatureVecs = append(snap.FeatureVecs, t.Features[id])
+	}
+	evIDs := make([]graph.NodeID, 0, len(t.eventAPTs))
+	for id := range t.eventAPTs {
+		evIDs = append(evIDs, id)
+	}
+	sort.Slice(evIDs, func(i, j int) bool { return evIDs[i] < evIDs[j] })
+	for _, id := range evIDs {
 		snap.EventAPTIDs = append(snap.EventAPTIDs, id)
-		var apts []int32
-		for a := range set {
+		apts := make([]int32, 0, len(t.eventAPTs[id]))
+		for a := range t.eventAPTs[id] {
 			apts = append(apts, int32(a))
 		}
+		sort.Slice(apts, func(i, j int) bool { return apts[i] < apts[j] })
 		snap.EventAPTSets = append(snap.EventAPTSets, apts)
 	}
 	if err := gob.NewEncoder(bw).Encode(&snap); err != nil {
@@ -101,40 +117,27 @@ func ReadTKG(r io.Reader, svc osint.Services, resolver *apt.Resolver) (*TKG, err
 	return t, nil
 }
 
-// Save writes the TKG snapshot to path atomically.
+// TKGCheckpointKind tags TKG snapshots inside the checkpoint envelope.
+const TKGCheckpointKind = "core.tkg"
+
+// Save writes the TKG snapshot to path atomically inside the checksummed
+// checkpoint envelope: a crashed writer leaves the previous file intact,
+// and a corrupted file is detected on load instead of misdecoding.
 func (t *TKG) Save(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("core: save: %w", err)
-	}
-	if _, err := t.WriteTo(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+	var buf bytes.Buffer
+	if _, err := t.WriteTo(&buf); err != nil {
 		return err
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("core: save: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("core: save: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("core: save: %w", err)
-	}
-	return nil
+	return ckpt.Save(path, TKGCheckpointKind, tkgSnapshotVersion, buf.Bytes())
 }
 
-// LoadTKG reads a TKG snapshot from path.
+// LoadTKG reads a TKG snapshot from path, verifying envelope integrity
+// (kind, version, checksum) before decoding. Corruption and version skew
+// surface as the ckpt package's typed errors.
 func LoadTKG(path string, svc osint.Services, resolver *apt.Resolver) (*TKG, error) {
-	f, err := os.Open(path)
+	payload, err := ckpt.Load(path, TKGCheckpointKind, tkgSnapshotVersion)
 	if err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
-	defer f.Close()
-	return ReadTKG(f, svc, resolver)
+	return ReadTKG(bytes.NewReader(payload), svc, resolver)
 }

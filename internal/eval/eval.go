@@ -32,6 +32,11 @@ type Options struct {
 	Seed int64
 	// Fast trims model sizes for quick runs (unit tests).
 	Fast bool
+	// ResumeDir, when non-empty, makes the sweep-style experiments
+	// (robustness, tuning) journal per-unit results under this directory
+	// and skip already-completed units on a rerun — crash/interrupt
+	// recovery for long experiment batches.
+	ResumeDir string
 }
 
 // DefaultOptions mirrors the experiment scale used in EXPERIMENTS.md.

@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"path/filepath"
+	"testing"
+
+	"trail/internal/ckpt"
+)
+
+// resumeCtx clones the shared test context with a ResumeDir set (Context
+// holds a mutex, so fields are copied individually).
+func resumeCtx(t *testing.T, dir string) *Context {
+	t.Helper()
+	base := getCtx(t)
+	opts := base.Opts
+	opts.ResumeDir = dir
+	return &Context{
+		Opts:        opts,
+		World:       base.World,
+		TKG:         base.TKG,
+		Classes:     base.Classes,
+		Names:       base.Names,
+		TrainMonths: base.TrainMonths,
+	}
+}
+
+// TestRobustnessResume: a journaled sweep point is replayed from disk on
+// rerun instead of rebuilding the degraded world. The skip is proven by
+// planting a sentinel value in the journal and observing it in the rerun
+// output.
+func TestRobustnessResume(t *testing.T) {
+	dir := t.TempDir()
+	ctx := resumeCtx(t, dir)
+	cfg := RobustnessConfig{
+		Rates:         []float64{0.15},
+		TransientRate: 0.1,
+		ChaosSeed:     42,
+		LPLayers:      4,
+		GNNLayers:     2,
+	}
+	first, err := RunRobustness(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Points) != 1 {
+		t.Fatalf("points %d, want 1", len(first.Points))
+	}
+
+	// Overwrite the journaled unit with a sentinel event count; a rerun
+	// that actually skips the rebuild must surface it verbatim.
+	j, err := ckpt.OpenJournal(filepath.Join(dir, "robustness.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("journal has %d records, want 1", j.Len())
+	}
+	sentinel := robustnessUnit{Point: first.Points[0], Events: 987654}
+	if err := j.RecordGob(robustnessKey(ctx.Opts, cfg, 0.15), sentinel); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := RunRobustness(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Events != 987654 {
+		t.Fatalf("rerun rebuilt the point instead of replaying the journal (events %d)", second.Events)
+	}
+	if second.Points[0].LP != first.Points[0].LP || second.Points[0].GNN != first.Points[0].GNN {
+		t.Fatal("replayed point differs from the recorded one")
+	}
+
+	// A different config key must NOT absorb the journaled unit.
+	cfg2 := cfg
+	cfg2.ChaosSeed = 43
+	third, err := RunRobustness(ctx, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Events == 987654 {
+		t.Fatal("journal record leaked across a config change")
+	}
+}
+
+// TestTuningResume: rerunning a journaled TPE search reproduces the
+// result; the journal carries every trial.
+func TestTuningResume(t *testing.T) {
+	dir := t.TempDir()
+	ctx := resumeCtx(t, dir)
+	kind := graphKindURLForTest()
+	first, err := RunTuning(ctx, ModelRF, kind, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "tune-*.journal"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("tuning journal missing: %v %v", matches, err)
+	}
+	j, err := ckpt.OpenJournal(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 4 {
+		t.Fatalf("journal has %d trials, want 4", j.Len())
+	}
+	j.Close()
+
+	second, err := RunTuning(ctx, ModelRF, kind, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.BestScore != first.BestScore {
+		t.Fatalf("resumed tuning best %v differs from original %v", second.BestScore, first.BestScore)
+	}
+	for k, v := range first.Best {
+		if second.Best[k] != v {
+			t.Fatalf("resumed tuning param %s differs", k)
+		}
+	}
+}

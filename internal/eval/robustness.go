@@ -2,9 +2,11 @@ package eval
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"trail/internal/ckpt"
 	"trail/internal/core"
 	"trail/internal/ml"
 	"trail/internal/osint"
@@ -94,12 +96,48 @@ func (r *RobustnessResult) AccuracyDrop(family string) float64 {
 // degraded graph. The base context supplies world configuration and
 // evaluation options only; each point builds its own world so degraded
 // feature vectors are genuinely imputed, not copied from the baseline.
+// robustnessUnit is the journaled result of one sweep point (the point
+// plus the table's event count, which Render needs).
+type robustnessUnit struct {
+	Point  RobustnessPoint
+	Events int
+}
+
+// robustnessKey pins a journal record to everything that shapes the
+// point's result, so a rerun with different settings re-computes instead
+// of absorbing a stale record.
+func robustnessKey(opts Options, cfg RobustnessConfig, rate float64) string {
+	return fmt.Sprintf("rate-%.4f|lp%d|gnn%d|tr%.3f|cs%d|s%d",
+		rate, cfg.LPLayers, cfg.GNNLayers, cfg.TransientRate, cfg.ChaosSeed, opts.Seed)
+}
+
 func RunRobustness(ctx *Context, cfg RobustnessConfig) (*RobustnessResult, error) {
 	if len(cfg.Rates) == 0 {
 		cfg = DefaultRobustnessConfig()
 	}
+	var journal *ckpt.Journal
+	if dir := ctx.Opts.ResumeDir; dir != "" {
+		var err error
+		journal, err = ckpt.OpenJournal(filepath.Join(dir, "robustness.journal"))
+		if err != nil {
+			return nil, fmt.Errorf("eval: robustness journal: %w", err)
+		}
+		defer journal.Close()
+	}
 	res := &RobustnessResult{LPLayers: cfg.LPLayers, GNNLayers: cfg.GNNLayers}
 	for _, rate := range cfg.Rates {
+		if journal != nil {
+			var unit robustnessUnit
+			done, err := journal.DoneGob(robustnessKey(ctx.Opts, cfg, rate), &unit)
+			if err != nil {
+				return nil, fmt.Errorf("eval: robustness journal: %w", err)
+			}
+			if done {
+				res.Points = append(res.Points, unit.Point)
+				res.Events = unit.Events
+				continue
+			}
+		}
 		pctx, rep, err := buildDegradedContext(ctx.Opts, cfg, rate)
 		if err != nil {
 			return nil, fmt.Errorf("eval: robustness at rate %.2f: %w", rate, err)
@@ -129,6 +167,12 @@ func RunRobustness(ctx *Context, cfg RobustnessConfig) (*RobustnessResult, error
 		}
 		res.Points = append(res.Points, point)
 		res.Events = table.Events
+		if journal != nil {
+			unit := robustnessUnit{Point: point, Events: table.Events}
+			if err := journal.RecordGob(robustnessKey(ctx.Opts, cfg, rate), unit); err != nil {
+				return nil, fmt.Errorf("eval: robustness journal: %w", err)
+			}
+		}
 	}
 	return res, nil
 }

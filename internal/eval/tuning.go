@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 
 	"trail/internal/graph"
@@ -131,7 +132,23 @@ func RunTuning(ctx *Context, m ModelName, kind graph.NodeKind, trials int) (*Tun
 	cfg := hyperopt.DefaultConfig()
 	cfg.Trials = trials
 	cfg.Seed = ctx.Opts.Seed
-	best, history := hyperopt.Minimize(obj, space, cfg)
+	var journal hyperopt.TrialJournal
+	if dir := ctx.Opts.ResumeDir; dir != "" {
+		// One journal per search unit: the file name pins model, kind,
+		// budget and seed so a rerun with different settings cannot absorb
+		// stale results.
+		name := fmt.Sprintf("tune-%s-%s-t%d-s%d.journal", m, kind, trials, ctx.Opts.Seed)
+		fj, err := hyperopt.OpenFileJournal(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		defer fj.Close()
+		journal = fj
+	}
+	best, history, err := hyperopt.MinimizeResumable(obj, space, cfg, journal)
+	if err != nil {
+		return nil, err
+	}
 
 	return &TuneResult{
 		Model:     m,

@@ -7,6 +7,7 @@
 package gnn
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -124,6 +125,12 @@ func (a *Autoencoder) InitRandom(inDim int) {
 
 // Fit minimises ||X - g(f(X))||^2 with Adam.
 func (a *Autoencoder) Fit(X *mat.Matrix) error {
+	return a.FitCtx(context.Background(), X)
+}
+
+// FitCtx is Fit with cooperative cancellation at epoch boundaries and a
+// divergence guard on the reconstruction loss.
+func (a *Autoencoder) FitCtx(ctx context.Context, X *mat.Matrix) error {
 	if X.Rows == 0 {
 		return errors.New("gnn: Autoencoder.Fit empty input")
 	}
@@ -150,7 +157,11 @@ func (a *Autoencoder) Fit(X *mat.Matrix) error {
 		idx = idx[:cfg.MaxRows]
 	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		mat.Shuffle(rng, idx)
+		epochLoss := 0.0
 		for start := 0; start < len(idx); start += cfg.Batch {
 			end := start + cfg.Batch
 			if end > len(idx) {
@@ -165,7 +176,11 @@ func (a *Autoencoder) Fit(X *mat.Matrix) error {
 			d1a, m2 := reluForward(d1)
 			recon := a.dec2.forward(d1a)
 			// MSE gradient: 2(recon - x)/n.
-			grad := mat.Sub(recon, xb).Scale(2 / float64(xb.Rows*xb.Cols))
+			diff := mat.Sub(recon, xb)
+			for _, v := range diff.Data {
+				epochLoss += v * v
+			}
+			grad := diff.Scale(2 / float64(xb.Rows*xb.Cols))
 			// Backward.
 			g := a.dec2.backward(d1a, grad)
 			g = mat.Hadamard(g, m2)
@@ -174,6 +189,9 @@ func (a *Autoencoder) Fit(X *mat.Matrix) error {
 			g = mat.Hadamard(g, m1)
 			a.enc1.backward(xb, g)
 			opt.Step()
+		}
+		if err := ml.CheckLoss(epoch, epochLoss); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"context"
 	"fmt"
 
 	"trail/internal/graph"
@@ -22,12 +23,45 @@ type EncoderSet struct {
 // returns the set. feats maps node IDs to raw engineered vectors; kinds
 // reports each node's kind.
 func TrainEncoders(g *graph.Graph, feats map[graph.NodeID][]float64, cfg AEConfig) (*EncoderSet, error) {
+	return TrainEncodersCtx(context.Background(), g, feats, cfg, EncoderTrainOpts{})
+}
+
+// EncoderTrainOpts carries the crash-safety knobs for TrainEncodersCtx.
+// Checkpointing is kind-granular: each IOC kind's autoencoder trains from
+// its own seed (cfg.Seed + kind), so skipping already-trained kinds on
+// resume reproduces the uninterrupted set bit for bit.
+type EncoderTrainOpts struct {
+	// Checkpoint, when non-nil, receives the partial set after each kind
+	// finishes training.
+	Checkpoint func(partial *EncoderSet) error
+	// Resume supplies a previously checkpointed (possibly partial) set;
+	// kinds already present are not retrained.
+	Resume *EncoderSet
+}
+
+// TrainEncodersCtx is TrainEncoders with cooperative cancellation and
+// kind-granular checkpoint/resume.
+func TrainEncodersCtx(ctx context.Context, g *graph.Graph, feats map[graph.NodeID][]float64, cfg AEConfig, opts EncoderTrainOpts) (*EncoderSet, error) {
 	set := &EncoderSet{
 		Config:  cfg,
 		AEs:     make(map[graph.NodeKind]*Autoencoder),
 		Scalers: make(map[graph.NodeKind]*ml.StandardScaler),
 	}
+	if opts.Resume != nil {
+		for kind, ae := range opts.Resume.AEs {
+			set.AEs[kind] = ae
+		}
+		for kind, sc := range opts.Resume.Scalers {
+			set.Scalers[kind] = sc
+		}
+	}
 	for _, kind := range []graph.NodeKind{graph.KindIP, graph.KindURL, graph.KindDomain} {
+		if _, done := set.AEs[kind]; done {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var rows [][]float64
 		g.ForEachNode(func(n graph.Node) {
 			if n.Kind == kind {
@@ -44,11 +78,16 @@ func TrainEncoders(g *graph.Graph, feats map[graph.NodeID][]float64, cfg AEConfi
 		aeCfg := cfg
 		aeCfg.Seed = cfg.Seed + int64(kind)
 		ae := NewAutoencoder(aeCfg)
-		if err := ae.Fit(scaler.Transform(X)); err != nil {
+		if err := ae.FitCtx(ctx, scaler.Transform(X)); err != nil {
 			return nil, fmt.Errorf("gnn: train %s encoder: %w", kind, err)
 		}
 		set.AEs[kind] = ae
 		set.Scalers[kind] = scaler
+		if opts.Checkpoint != nil {
+			if err := opts.Checkpoint(set); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return set, nil
 }

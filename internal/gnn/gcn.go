@@ -2,6 +2,7 @@ package gnn
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 
 	"trail/internal/graph"
@@ -76,27 +77,98 @@ func gcnOperator(in Input) *sparse.Matrix {
 	return inputCSR(in).SymNormalizedWithSelfLoops()
 }
 
+// CloneGCN deep-copies the model (weights and config), mirroring
+// (*Model).CloneModel for the checkpoint layer.
+func (g *GCN) CloneGCN() *GCN {
+	cp := &GCN{Config: g.Config, classes: g.classes}
+	cloneLinear := func(l *linear) *linear {
+		return &linear{
+			w: &ml.Param{W: l.w.W.Clone(), G: mat.New(l.w.G.Rows, l.w.G.Cols)},
+			b: &ml.Param{W: l.b.W.Clone(), G: mat.New(l.b.G.Rows, l.b.G.Cols)},
+		}
+	}
+	cp.labelEmb = cloneLinear(g.labelEmb)
+	for _, l := range g.layers {
+		cp.layers = append(cp.layers, cloneLinear(l))
+	}
+	return cp
+}
+
 // TrainGCN fits a GCN with the same label-visibility protocol as the SAGE
 // trainer.
 func TrainGCN(in Input, trainEvents []graph.NodeID, cfg Config) (*GCN, error) {
-	g := NewGCN(cfg, in.Classes)
+	return TrainGCNCtx(in, trainEvents, cfg, TrainOpts{})
+}
+
+// TrainGCNCtx is TrainGCN with the crash-safety knobs of TrainCtx:
+// cancellable context, epoch-granular checkpoint hook, and bit-identical
+// resume from a checkpointed TrainState.
+func TrainGCNCtx(in Input, trainEvents []graph.NodeID, cfg Config, opts TrainOpts) (*GCN, error) {
+	st, err := opts.resumeFor(archGCN)
+	if err != nil {
+		return nil, err
+	}
+	var g *GCN
+	if st != nil {
+		if st.GCN == nil {
+			return nil, errors.New("gnn: resume state carries no GCN weights")
+		}
+		g = st.GCN.CloneGCN()
+	} else {
+		g = NewGCN(cfg, in.Classes)
+	}
 	if len(trainEvents) < 2 {
 		return nil, errors.New("gnn: need at least 2 training events")
 	}
 	if in.Enc.Cols != g.Config.Encoding {
 		return nil, errors.New("gnn: encoding width mismatch")
 	}
-	rng := rand.New(rand.NewSource(g.Config.Seed + 31))
-	opt := ml.NewAdam(g.Config.LR, g.params())
+	ctx := opts.ctx()
+	src := ml.NewCountingSource(g.Config.Seed + 31)
+	ps := g.params()
+	opt := ml.NewAdam(g.Config.LR, ps)
+	start := 0
+	if st != nil {
+		start = st.Epoch
+		src = ml.RestoreRNG(st.RNG)
+		if err := opt.Restore(st.Opt); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(src)
 	s := gcnOperator(in)
 
-	order := make([]int, len(trainEvents))
-	for i := range order {
-		order[i] = i
+	checkpoint := func(completed int) error {
+		if opts.Checkpoint == nil {
+			return nil
+		}
+		return opts.Checkpoint(&TrainState{
+			Arch:  archGCN,
+			Epoch: completed,
+			RNG:   src.State(),
+			Opt:   opt.State(),
+			GCN:   g.CloneGCN(),
+		})
 	}
-	for epoch := 0; epoch < g.Config.Epochs; epoch++ {
+
+	order := make([]int, len(trainEvents))
+	bestLoss := math.Inf(1)
+	var bestW []*mat.Matrix
+	for epoch := start; epoch < g.Config.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			if cerr := checkpoint(epoch); cerr != nil {
+				return nil, cerr
+			}
+			return nil, err
+		}
+		// Identity reset before the shuffle keeps the permutation a pure
+		// function of RNG position (see the SAGE fit loop).
+		for i := range order {
+			order[i] = i
+		}
 		mat.Shuffle(rng, order)
 		half := len(order) / 2
+		epochLoss, passes := 0.0, 0
 		for pass := 0; pass < 2; pass++ {
 			visible := make(map[graph.NodeID]int, half)
 			var targets []graph.NodeID
@@ -111,7 +183,32 @@ func TrainGCN(in Input, trainEvents []graph.NodeID, cfg Config) (*GCN, error) {
 			if len(targets) == 0 {
 				continue
 			}
-			g.step(in, s, visible, targets, opt)
+			loss, err := g.step(in, s, visible, targets, ps, opt, epoch)
+			if err != nil {
+				if bestW != nil {
+					ml.RestoreParams(ps, bestW)
+				}
+				return g, err
+			}
+			epochLoss += loss
+			passes++
+		}
+		if passes > 0 {
+			if err := ml.CheckLoss(epoch, epochLoss/float64(passes)); err != nil {
+				if bestW != nil {
+					ml.RestoreParams(ps, bestW)
+				}
+				return g, err
+			}
+			if l := epochLoss / float64(passes); l < bestLoss {
+				bestLoss = l
+				bestW = ml.CloneParams(ps)
+			}
+		}
+		if (epoch+1)%opts.every() == 0 {
+			if err := checkpoint(epoch + 1); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return g, nil
@@ -150,15 +247,17 @@ func (g *GCN) forward(in Input, s *sparse.Matrix, visible map[graph.NodeID]int) 
 	return acts
 }
 
-func (g *GCN) step(in Input, s *sparse.Matrix, visible map[graph.NodeID]int, targets []graph.NodeID, opt *ml.Adam) {
+func (g *GCN) step(in Input, s *sparse.Matrix, visible map[graph.NodeID]int, targets []graph.NodeID, ps []*ml.Param, opt *ml.Adam, epoch int) (float64, error) {
 	acts := g.forward(in, s, visible)
 	logits := acts.out
 
 	grad := mat.New(logits.Rows, logits.Cols)
 	inv := 1 / float64(len(targets))
 	probs := make([]float64, logits.Cols)
+	loss := 0.0
 	for _, ev := range targets {
 		mat.Softmax(probs, logits.Row(int(ev)))
+		loss -= math.Log(probs[in.Labels[ev]] + 1e-300)
 		dst := grad.Row(int(ev))
 		copy(dst, probs)
 		dst[in.Labels[ev]] -= 1
@@ -166,6 +265,7 @@ func (g *GCN) step(in Input, s *sparse.Matrix, visible map[graph.NodeID]int, tar
 			dst[j] *= inv
 		}
 	}
+	loss *= inv
 
 	gr := grad
 	for li := len(g.layers) - 1; li >= 0; li-- {
@@ -176,14 +276,20 @@ func (g *GCN) step(in Input, s *sparse.Matrix, visible map[graph.NodeID]int, tar
 		// Adjoint of the symmetric propagation is the propagation itself.
 		gr = s.Mul(gr)
 	}
-	for ev, c := range visible {
-		if c >= 0 && c < g.classes {
+	// Ordered iteration: shared-class rows accumulate in a fixed order so
+	// training stays bit-reproducible (see sortedVisible).
+	for _, ev := range sortedVisible(visible) {
+		if c := visible[ev]; c >= 0 && c < g.classes {
 			row := gr.Row(int(ev))
 			mat.Axpy(1, row, g.labelEmb.w.G.Row(c))
 			mat.Axpy(1, row, g.labelEmb.b.G.Row(0))
 		}
 	}
+	if norm := ml.ClipGrads(ps, g.Config.ClipNorm); math.IsNaN(norm) || math.IsInf(norm, 0) {
+		return loss, &ml.DivergenceError{Quantity: "gradient", Epoch: epoch, Value: norm}
+	}
 	opt.Step()
+	return loss, nil
 }
 
 // Predict returns the argmax attribution per query event.

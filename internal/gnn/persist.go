@@ -1,0 +1,269 @@
+package gnn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"sort"
+
+	"trail/internal/ckpt"
+	"trail/internal/graph"
+	"trail/internal/mat"
+	"trail/internal/ml"
+)
+
+// Checkpoint kinds and payload versions for the gnn artefacts. Bump a
+// version when its wire struct changes shape; ckpt.Load then rejects old
+// files with a typed *ckpt.VersionError instead of misdecoding them.
+const (
+	KindSAGE     = "gnn.sage"
+	KindGCN      = "gnn.gcn"
+	KindEncoders = "gnn.encoders"
+	KindTrain    = "gnn.train"
+
+	VersionSAGE     uint32 = 1
+	VersionGCN      uint32 = 1
+	VersionEncoders uint32 = 1
+	VersionTrain    uint32 = 1
+)
+
+// --- wire structs ------------------------------------------------------------
+//
+// The models keep weights in unexported fields (they are not part of the
+// training API), so gob needs explicit encoders. Only weights travel;
+// gradient accumulators are rebuilt zeroed on decode.
+
+type linearWire struct {
+	W, B *mat.Matrix
+}
+
+func wireLinear(l *linear) linearWire { return linearWire{W: l.w.W, B: l.b.W} }
+
+func (w linearWire) revive() *linear {
+	return &linear{
+		w: &ml.Param{W: w.W, G: mat.New(w.W.Rows, w.W.Cols)},
+		b: &ml.Param{W: w.B, G: mat.New(w.B.Rows, w.B.Cols)},
+	}
+}
+
+type modelWire struct {
+	Config   Config
+	Classes  int
+	LabelEmb linearWire
+	Layers   []linearWire
+	SelfW    []*mat.Matrix
+}
+
+// GobEncode implements gob.GobEncoder for the GraphSAGE model.
+func (m *Model) GobEncode() ([]byte, error) {
+	w := modelWire{Config: m.Config, Classes: m.classes, LabelEmb: wireLinear(m.labelEmb)}
+	for i, l := range m.layers {
+		w.Layers = append(w.Layers, wireLinear(l))
+		w.SelfW = append(w.SelfW, m.selfW[i].W)
+	}
+	return gobBytes(w)
+}
+
+// GobDecode implements gob.GobDecoder for the GraphSAGE model.
+func (m *Model) GobDecode(b []byte) error {
+	var w modelWire
+	if err := gobValue(b, &w); err != nil {
+		return err
+	}
+	if w.LabelEmb.W == nil || len(w.Layers) != len(w.SelfW) {
+		return errors.New("gnn: malformed SAGE checkpoint payload")
+	}
+	m.Config, m.classes = w.Config, w.Classes
+	m.labelEmb = w.LabelEmb.revive()
+	m.layers, m.selfW = nil, nil
+	for i, lw := range w.Layers {
+		m.layers = append(m.layers, lw.revive())
+		sw := w.SelfW[i]
+		m.selfW = append(m.selfW, &ml.Param{W: sw, G: mat.New(sw.Rows, sw.Cols)})
+	}
+	return nil
+}
+
+type gcnWire struct {
+	Config   Config
+	Classes  int
+	LabelEmb linearWire
+	Layers   []linearWire
+}
+
+// GobEncode implements gob.GobEncoder for the GCN baseline.
+func (g *GCN) GobEncode() ([]byte, error) {
+	w := gcnWire{Config: g.Config, Classes: g.classes, LabelEmb: wireLinear(g.labelEmb)}
+	for _, l := range g.layers {
+		w.Layers = append(w.Layers, wireLinear(l))
+	}
+	return gobBytes(w)
+}
+
+// GobDecode implements gob.GobDecoder for the GCN baseline.
+func (g *GCN) GobDecode(b []byte) error {
+	var w gcnWire
+	if err := gobValue(b, &w); err != nil {
+		return err
+	}
+	if w.LabelEmb.W == nil {
+		return errors.New("gnn: malformed GCN checkpoint payload")
+	}
+	g.Config, g.classes = w.Config, w.Classes
+	g.labelEmb = w.LabelEmb.revive()
+	g.layers = nil
+	for _, lw := range w.Layers {
+		g.layers = append(g.layers, lw.revive())
+	}
+	return nil
+}
+
+type aeWire struct {
+	Config                 AEConfig
+	InDim                  int
+	Trained                bool
+	Enc1, Enc2, Dec1, Dec2 linearWire
+}
+
+// GobEncode implements gob.GobEncoder for an autoencoder (trained or
+// merely initialised; a never-initialised one round-trips as such).
+func (a *Autoencoder) GobEncode() ([]byte, error) {
+	w := aeWire{Config: a.Config, InDim: a.inDim, Trained: a.enc1 != nil}
+	if w.Trained {
+		w.Enc1, w.Enc2 = wireLinear(a.enc1), wireLinear(a.enc2)
+		w.Dec1, w.Dec2 = wireLinear(a.dec1), wireLinear(a.dec2)
+	}
+	return gobBytes(w)
+}
+
+// GobDecode implements gob.GobDecoder for an autoencoder.
+func (a *Autoencoder) GobDecode(b []byte) error {
+	var w aeWire
+	if err := gobValue(b, &w); err != nil {
+		return err
+	}
+	a.Config, a.inDim = w.Config, w.InDim
+	a.enc1, a.enc2, a.dec1, a.dec2 = nil, nil, nil, nil
+	if w.Trained {
+		if w.Enc1.W == nil || w.Enc2.W == nil || w.Dec1.W == nil || w.Dec2.W == nil {
+			return errors.New("gnn: malformed autoencoder checkpoint payload")
+		}
+		a.enc1, a.enc2 = w.Enc1.revive(), w.Enc2.revive()
+		a.dec1, a.dec2 = w.Dec1.revive(), w.Dec2.revive()
+	}
+	return nil
+}
+
+type encoderSetWire struct {
+	Config  AEConfig
+	Kinds   []graph.NodeKind
+	AEs     []*Autoencoder
+	Scalers []*ml.StandardScaler
+}
+
+// GobEncode implements gob.GobEncoder for an encoder set. Kinds are
+// serialised in sorted order so the payload bytes are deterministic
+// (gob's native map encoding follows Go's randomised iteration order).
+func (s *EncoderSet) GobEncode() ([]byte, error) {
+	w := encoderSetWire{Config: s.Config}
+	for kind := range s.AEs {
+		w.Kinds = append(w.Kinds, kind)
+	}
+	sort.Slice(w.Kinds, func(i, j int) bool { return w.Kinds[i] < w.Kinds[j] })
+	for _, kind := range w.Kinds {
+		w.AEs = append(w.AEs, s.AEs[kind])
+		w.Scalers = append(w.Scalers, s.Scalers[kind])
+	}
+	return gobBytes(w)
+}
+
+// GobDecode implements gob.GobDecoder for an encoder set.
+func (s *EncoderSet) GobDecode(b []byte) error {
+	var w encoderSetWire
+	if err := gobValue(b, &w); err != nil {
+		return err
+	}
+	if len(w.Kinds) != len(w.AEs) || len(w.Kinds) != len(w.Scalers) {
+		return errors.New("gnn: malformed encoder-set checkpoint payload")
+	}
+	s.Config = w.Config
+	s.AEs = make(map[graph.NodeKind]*Autoencoder, len(w.Kinds))
+	s.Scalers = make(map[graph.NodeKind]*ml.StandardScaler, len(w.Kinds))
+	for i, kind := range w.Kinds {
+		s.AEs[kind] = w.AEs[i]
+		s.Scalers[kind] = w.Scalers[i]
+	}
+	return nil
+}
+
+func gobBytes(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobValue(b []byte, out any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(out)
+}
+
+// --- file-level save/load over the checksummed envelope ----------------------
+
+// SaveModel atomically writes a SAGE model checkpoint.
+func SaveModel(path string, m *Model) error {
+	return ckpt.SaveGob(path, KindSAGE, VersionSAGE, m)
+}
+
+// LoadModel reads a SAGE model checkpoint, verifying kind, version and
+// payload integrity.
+func LoadModel(path string) (*Model, error) {
+	m := &Model{}
+	if err := ckpt.LoadGob(path, KindSAGE, VersionSAGE, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveGCN atomically writes a GCN model checkpoint.
+func SaveGCN(path string, g *GCN) error {
+	return ckpt.SaveGob(path, KindGCN, VersionGCN, g)
+}
+
+// LoadGCN reads a GCN model checkpoint.
+func LoadGCN(path string) (*GCN, error) {
+	g := &GCN{}
+	if err := ckpt.LoadGob(path, KindGCN, VersionGCN, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SaveEncoders atomically writes an (optionally partial) encoder set.
+func SaveEncoders(path string, s *EncoderSet) error {
+	return ckpt.SaveGob(path, KindEncoders, VersionEncoders, s)
+}
+
+// LoadEncoders reads an encoder-set checkpoint.
+func LoadEncoders(path string) (*EncoderSet, error) {
+	s := &EncoderSet{}
+	if err := ckpt.LoadGob(path, KindEncoders, VersionEncoders, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SaveTrainState atomically writes a mid-training checkpoint (weights +
+// optimiser moments + RNG position + epoch index).
+func SaveTrainState(path string, st *TrainState) error {
+	return ckpt.SaveGob(path, KindTrain, VersionTrain, st)
+}
+
+// LoadTrainState reads a mid-training checkpoint.
+func LoadTrainState(path string) (*TrainState, error) {
+	st := &TrainState{}
+	if err := ckpt.LoadGob(path, KindTrain, VersionTrain, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sort"
 
 	"trail/internal/graph"
 	"trail/internal/mat"
@@ -51,6 +52,10 @@ type Config struct {
 	// NoL2 disables the Eq. 4 post-aggregation L2 normalisation — an
 	// ablation knob for the design-choice benches.
 	NoL2 bool
+	// ClipNorm caps the global gradient L2 norm per optimisation step; 0
+	// disables clipping. Divergence (NaN/Inf loss or gradients) is always
+	// detected and reported as *ml.DivergenceError either way.
+	ClipNorm float64
 }
 
 // DefaultConfig returns laptop-scale defaults (paper values: Hidden 512,
@@ -132,8 +137,34 @@ func (m *Model) params() []*ml.Param {
 // model learn to exploit neighbour labels without learning to copy its
 // own.
 func Train(in Input, trainEvents []graph.NodeID, cfg Config) (*Model, error) {
-	m := NewModel(cfg, in.Classes)
-	if err := m.fit(in, trainEvents, m.Config.Epochs); err != nil {
+	return TrainCtx(in, trainEvents, cfg, TrainOpts{})
+}
+
+// TrainCtx is Train with crash-safety: a cancellable context, an
+// epoch-granular checkpoint hook, and resume from a checkpointed
+// TrainState. Kill-at-epoch-k followed by a resume produces final weights
+// bit-identical to an uninterrupted run. On divergence
+// (*ml.DivergenceError) the returned model carries the lowest-loss
+// epoch's weights — rolled back, never NaN.
+func TrainCtx(in Input, trainEvents []graph.NodeID, cfg Config, opts TrainOpts) (*Model, error) {
+	st, err := opts.resumeFor(archSAGE)
+	if err != nil {
+		return nil, err
+	}
+	var m *Model
+	if st != nil {
+		if st.SAGE == nil {
+			return nil, errors.New("gnn: resume state carries no SAGE weights")
+		}
+		m = st.SAGE.CloneModel()
+	} else {
+		m = NewModel(cfg, in.Classes)
+	}
+	if err := m.fit(in, trainEvents, m.Config.Epochs, opts); err != nil {
+		var div *ml.DivergenceError
+		if errors.As(err, &div) {
+			return m, err
+		}
 		return nil, err
 	}
 	return m, nil
@@ -167,31 +198,77 @@ func (m *Model) CloneModel() *Model {
 func (m *Model) FineTune(in Input, trainEvents []graph.NodeID, epochs int) error {
 	orig := m.Config.LR
 	m.Config.LR = orig * 0.3
-	err := m.fit(in, trainEvents, epochs)
-	m.Config.LR = orig
-	return err
+	defer func() { m.Config.LR = orig }()
+	return m.fit(in, trainEvents, epochs, TrainOpts{})
 }
 
-func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int) error {
+func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int, opts TrainOpts) error {
 	if len(trainEvents) < 2 {
 		return errors.New("gnn: need at least 2 training events")
 	}
 	if in.Enc.Cols != m.Config.Encoding {
 		return errors.New("gnn: encoding width mismatch")
 	}
-	rng := rand.New(rand.NewSource(m.Config.Seed + 17))
-	opt := ml.NewAdam(m.Config.LR, m.params())
+	ctx := opts.ctx()
+	src := ml.NewCountingSource(m.Config.Seed + 17)
+	ps := m.params()
+	opt := ml.NewAdam(m.Config.LR, ps)
+	start := 0
+	if opts.Resume != nil {
+		start = opts.Resume.Epoch
+		src = ml.RestoreRNG(opts.Resume.RNG)
+		if err := opt.Restore(opts.Resume.Opt); err != nil {
+			return err
+		}
+	}
+	rng := rand.New(src)
 	// One mean-aggregation operator (and, lazily, its adjoint) is shared
 	// across all epochs when no sampling is configured.
 	mean := meanOperator(in)
 
-	order := make([]int, len(trainEvents))
-	for i := range order {
-		order[i] = i
+	checkpoint := func(completed int) error {
+		if opts.Checkpoint == nil {
+			return nil
+		}
+		return opts.Checkpoint(&TrainState{
+			Arch:  archSAGE,
+			Epoch: completed,
+			RNG:   src.State(),
+			Opt:   opt.State(),
+			SAGE:  m.CloneModel(),
+		})
 	}
-	for epoch := 0; epoch < epochs; epoch++ {
+
+	order := make([]int, len(trainEvents))
+	// Best-checkpoint rollback: track the lowest-loss epoch's weights so a
+	// divergent step surfaces a typed error over a usable model instead of
+	// NaN weights.
+	bestLoss := math.Inf(1)
+	var bestW []*mat.Matrix
+	rollback := func() {
+		if bestW != nil {
+			ml.RestoreParams(ps, bestW)
+		}
+	}
+	for epoch := start; epoch < epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			// A cancellation (SIGINT at the CLI) still leaves a resumable
+			// checkpoint behind.
+			if cerr := checkpoint(epoch); cerr != nil {
+				return cerr
+			}
+			return err
+		}
+		// Reset to the identity before shuffling so the permutation at
+		// epoch k is a pure function of the RNG position — required for
+		// bit-identical resume (in-place shuffles would compose across
+		// epochs and depend on where training started).
+		for i := range order {
+			order[i] = i
+		}
 		mat.Shuffle(rng, order)
 		half := len(order) / 2
+		epochLoss, passes := 0.0, 0
 		// Alternate which half is context vs target across epochs.
 		for pass := 0; pass < 2; pass++ {
 			visible := make(map[graph.NodeID]int, half)
@@ -211,16 +288,38 @@ func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int) error {
 			if m.Config.MaxNeighbors > 0 {
 				agg = sparse.FromAdj(sampleAdj(rng, in.Adj, m.Config.MaxNeighbors)).MeanNormalized()
 			}
-			m.step(in, agg, visible, targets, opt)
+			loss, err := m.step(in, agg, visible, targets, ps, opt, epoch)
+			if err != nil {
+				rollback()
+				return err
+			}
+			epochLoss += loss
+			passes++
+		}
+		if passes > 0 {
+			if err := ml.CheckLoss(epoch, epochLoss/float64(passes)); err != nil {
+				rollback()
+				return err
+			}
+			if l := epochLoss / float64(passes); l < bestLoss {
+				bestLoss = l
+				bestW = ml.CloneParams(ps)
+			}
+		}
+		if (epoch+1)%opts.every() == 0 {
+			if err := checkpoint(epoch + 1); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
 // step runs one full-graph forward/backward pass and an optimiser
-// update. agg is the mean-aggregation operator for this pass (the shared
-// full-graph operator, or a freshly sampled one).
-func (m *Model) step(in Input, agg *sparse.Matrix, visible map[graph.NodeID]int, targets []graph.NodeID, opt *ml.Adam) {
+// update, returning the mean cross-entropy loss over the targets. agg is
+// the mean-aggregation operator for this pass (the shared full-graph
+// operator, or a freshly sampled one).
+func (m *Model) step(in Input, agg *sparse.Matrix, visible map[graph.NodeID]int, targets []graph.NodeID, ps []*ml.Param, opt *ml.Adam, epoch int) (float64, error) {
 	acts := m.forward(in, agg, visible)
 	logits := acts.h[len(acts.h)-1]
 
@@ -228,9 +327,11 @@ func (m *Model) step(in Input, agg *sparse.Matrix, visible map[graph.NodeID]int,
 	grad := mat.New(logits.Rows, logits.Cols)
 	inv := 1 / float64(len(targets))
 	probs := make([]float64, logits.Cols)
+	loss := 0.0
 	for _, ev := range targets {
 		row := logits.Row(int(ev))
 		mat.Softmax(probs, row)
+		loss -= math.Log(probs[in.Labels[ev]] + 1e-300)
 		dst := grad.Row(int(ev))
 		copy(dst, probs)
 		dst[in.Labels[ev]] -= 1
@@ -238,8 +339,13 @@ func (m *Model) step(in Input, agg *sparse.Matrix, visible map[graph.NodeID]int,
 			dst[j] *= inv
 		}
 	}
+	loss *= inv
 	m.backward(in, agg, acts, visible, grad)
+	if norm := ml.ClipGrads(ps, m.Config.ClipNorm); math.IsNaN(norm) || math.IsInf(norm, 0) {
+		return loss, &ml.DivergenceError{Quantity: "gradient", Epoch: epoch, Value: norm}
+	}
 	opt.Step()
+	return loss, nil
 }
 
 // activations caches the forward pass for backprop.
@@ -349,13 +455,28 @@ func (m *Model) backward(in Input, agg *sparse.Matrix, acts *activations, visibl
 		g = mat.AddInPlace(agg.MulTrans(gMean), gSelf)
 	}
 	// Gradient into the label embedding via visible event rows of h0.
-	for ev, c := range visible {
-		if c >= 0 && c < m.classes {
+	// Events sharing a class accumulate into the same gradient row, so the
+	// iteration must be ordered: map-range order varies per run and
+	// float addition is not associative, which would break bit-identical
+	// resume by an ULP.
+	for _, ev := range sortedVisible(visible) {
+		if c := visible[ev]; c >= 0 && c < m.classes {
 			row := g.Row(int(ev))
 			mat.Axpy(1, row, m.labelEmb.w.G.Row(c))
 			mat.Axpy(1, row, m.labelEmb.b.G.Row(0))
 		}
 	}
+}
+
+// sortedVisible returns the visible event IDs in ascending order, pinning
+// the gradient-accumulation order for deterministic training.
+func sortedVisible(visible map[graph.NodeID]int) []graph.NodeID {
+	ids := make([]graph.NodeID, 0, len(visible))
+	for ev := range visible {
+		ids = append(ids, ev)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // inputCSR returns the input's shared adjacency CSR, rebuilding it from

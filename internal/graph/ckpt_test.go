@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trail/internal/ckpt"
+)
+
+func buildCkptTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	ev, _ := g.Upsert(KindEvent, "ev-1")
+	ip, _ := g.Upsert(KindIP, "10.0.0.1")
+	dom, _ := g.Upsert(KindDomain, "evil.example")
+	g.AddEdge(ev, ip, EdgeInReport)
+	g.AddEdge(ip, dom, EdgeResolvesTo)
+	return g
+}
+
+// TestGraphVersionSkew: a snapshot saved under a future version is
+// rejected with a typed *ckpt.VersionError, not a panic and not a
+// misdecoded graph.
+func TestGraphVersionSkew(t *testing.T) {
+	g := buildCkptTestGraph(t)
+	var err error
+	path := filepath.Join(t.TempDir(), "g.ck")
+	if err = g.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ckpt.Load(path, CheckpointKind, snapshotVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Save(path, CheckpointKind, snapshotVersion+1, payload); err != nil {
+		t.Fatal(err)
+	}
+	var verr *ckpt.VersionError
+	if _, err := Load(path); !errors.As(err, &verr) {
+		t.Fatalf("want *ckpt.VersionError, got %v", err)
+	}
+}
+
+// TestGraphFileCorruption: corrupted and truncated graph files surface
+// typed errors on load.
+func TestGraphFileCorruption(t *testing.T) {
+	g := buildCkptTestGraph(t)
+	path := filepath.Join(t.TempDir(), "g.ck")
+	if err := g.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)-3] ^= 0x80
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Fatalf("bit flip: want ErrCorrupt, got %v", err)
+	}
+
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ckpt.ErrTruncated) {
+		t.Fatalf("truncation: want ErrTruncated, got %v", err)
+	}
+
+	if err := os.WriteFile(path, []byte("not a checkpoint at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ckpt.ErrNotCheckpoint) {
+		t.Fatalf("garbage: want ErrNotCheckpoint, got %v", err)
+	}
+}

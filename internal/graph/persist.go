@@ -1,11 +1,12 @@
 package graph
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
-	"os"
+
+	"trail/internal/ckpt"
 )
 
 // snapshot is the gob-serialisable form of a Graph. Edges are stored once
@@ -105,50 +106,30 @@ func (g *Graph) ReadFrom(r io.Reader) (int64, error) {
 	return cr.n, nil
 }
 
-// Save writes the graph snapshot to path atomically (write to a temp file
-// in the same directory, fsync, rename).
+// CheckpointKind tags graph snapshots inside the checkpoint envelope.
+const CheckpointKind = "graph.graph"
+
+// Save writes the graph snapshot to path atomically inside the
+// checksummed checkpoint envelope (temp file + fsync + rename; corruption
+// and version skew are detected on load as the ckpt package's typed
+// errors).
 func (g *Graph) Save(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("graph: save: %w", err)
-	}
-	bw := bufio.NewWriter(f)
-	if _, err := g.WriteTo(bw); err != nil {
-		f.Close()
-		os.Remove(tmp)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
 		return err
 	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("graph: save: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("graph: save: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("graph: save: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("graph: save: %w", err)
-	}
-	return nil
+	return ckpt.Save(path, CheckpointKind, snapshotVersion, buf.Bytes())
 }
 
-// Load reads a snapshot from path into a fresh graph.
+// Load reads a snapshot from path into a fresh graph, verifying envelope
+// integrity first.
 func Load(path string) (*Graph, error) {
-	f, err := os.Open(path)
+	payload, err := ckpt.Load(path, CheckpointKind, snapshotVersion)
 	if err != nil {
 		return nil, fmt.Errorf("graph: load: %w", err)
 	}
-	defer f.Close()
 	g := New()
-	if _, err := g.ReadFrom(bufio.NewReader(f)); err != nil {
+	if _, err := g.ReadFrom(bytes.NewReader(payload)); err != nil {
 		return nil, err
 	}
 	return g, nil

@@ -1,0 +1,48 @@
+package hyperopt
+
+import (
+	"fmt"
+
+	"trail/internal/ckpt"
+)
+
+// FileJournal adapts the append-only checkpoint journal to the
+// TrialJournal interface: one checksummed record per completed trial,
+// fsynced before the objective result is considered durable. A damaged
+// tail (crash mid-write) is truncated on open, so the worst case is
+// re-running the last trial.
+type FileJournal struct {
+	j *ckpt.Journal
+}
+
+// OpenFileJournal opens (or creates) a trial journal at path.
+func OpenFileJournal(path string) (*FileJournal, error) {
+	j, err := ckpt.OpenJournal(path)
+	if err != nil {
+		return nil, fmt.Errorf("hyperopt: open trial journal: %w", err)
+	}
+	return &FileJournal{j: j}, nil
+}
+
+func trialKey(t int) string { return fmt.Sprintf("trial-%05d", t) }
+
+// Lookup implements TrialJournal.
+func (f *FileJournal) Lookup(t int) (Trial, bool) {
+	var tr Trial
+	ok, err := f.j.DoneGob(trialKey(t), &tr)
+	if err != nil || !ok {
+		return Trial{}, false
+	}
+	return tr, true
+}
+
+// Record implements TrialJournal.
+func (f *FileJournal) Record(t int, tr Trial) error {
+	return f.j.RecordGob(trialKey(t), tr)
+}
+
+// Len reports the number of journaled trials.
+func (f *FileJournal) Len() int { return f.j.Len() }
+
+// Close releases the underlying file.
+func (f *FileJournal) Close() error { return f.j.Close() }

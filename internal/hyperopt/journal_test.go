@@ -1,0 +1,116 @@
+package hyperopt
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func testSpace() Space {
+	return Space{
+		{Name: "x", Min: -2, Max: 2},
+		{Name: "lr", Min: 1e-4, Max: 1, Log: true},
+		{Name: "n", Min: 1, Max: 16, Int: true},
+	}
+}
+
+func testObjective(calls *int) Objective {
+	return func(p Params) float64 {
+		*calls++
+		return (p["x"]-0.5)*(p["x"]-0.5) + math.Abs(math.Log10(p["lr"])+2) + math.Abs(p["n"]-8)/8
+	}
+}
+
+// TestMinimizeResumableCrashRecovery: interrupting a journaled search
+// mid-way and re-running completes only the missing trials and ends with
+// exactly the history an uninterrupted run produces.
+func TestMinimizeResumableCrashRecovery(t *testing.T) {
+	space := testSpace()
+	cfg := Config{Trials: 20, Warmup: 6, Gamma: 0.25, Candidates: 12, Seed: 5}
+
+	var refCalls int
+	refBest, refHist, err := MinimizeResumable(testObjective(&refCalls), space, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refCalls != cfg.Trials {
+		t.Fatalf("reference ran %d objective calls, want %d", refCalls, cfg.Trials)
+	}
+
+	// Phase 1: "crash" after 7 trials (the panic stands in for a SIGKILL;
+	// each completed trial was already fsynced to the journal).
+	path := filepath.Join(t.TempDir(), "trials.journal")
+	j1, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phase1 int
+	func() {
+		defer func() { recover() }()
+		crashing := func(p Params) float64 {
+			if phase1 == 7 {
+				panic("simulated crash")
+			}
+			phase1++
+			return testObjective(new(int))(p)
+		}
+		_, _, _ = MinimizeResumable(crashing, space, cfg, j1)
+	}()
+	j1.Close()
+	if phase1 != 7 {
+		t.Fatalf("phase 1 completed %d trials, want 7", phase1)
+	}
+
+	// Phase 2: rerun against the same journal; only the remaining trials
+	// may invoke the objective.
+	j2, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 7 {
+		t.Fatalf("journal replayed %d records, want 7", j2.Len())
+	}
+	var phase2 int
+	best, hist, err := MinimizeResumable(testObjective(&phase2), space, cfg, j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phase2 != cfg.Trials-7 {
+		t.Fatalf("resume ran %d objective calls, want %d", phase2, cfg.Trials-7)
+	}
+	if len(hist) != len(refHist) {
+		t.Fatalf("history length %d vs %d", len(hist), len(refHist))
+	}
+	for i := range hist {
+		if hist[i].Loss != refHist[i].Loss {
+			t.Fatalf("trial %d loss %v differs from uninterrupted %v", i, hist[i].Loss, refHist[i].Loss)
+		}
+		for k, v := range refHist[i].Params {
+			if hist[i].Params[k] != v {
+				t.Fatalf("trial %d param %s differs", i, k)
+			}
+		}
+	}
+	if best.Loss != refBest.Loss {
+		t.Fatalf("best loss %v differs from uninterrupted %v", best.Loss, refBest.Loss)
+	}
+
+	// Phase 3: a fully-journaled rerun touches the objective zero times.
+	j3, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	var phase3 int
+	best3, _, err := MinimizeResumable(testObjective(&phase3), space, cfg, j3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phase3 != 0 {
+		t.Fatalf("fully-journaled rerun ran %d objective calls, want 0", phase3)
+	}
+	if best3.Loss != refBest.Loss {
+		t.Fatal("fully-journaled rerun changed the best trial")
+	}
+}

@@ -60,9 +60,30 @@ func DefaultConfig() Config {
 	return Config{Trials: 30, Warmup: 10, Gamma: 0.25, Candidates: 24, Seed: 1}
 }
 
+// TrialJournal persists per-trial results so an interrupted search can be
+// resumed without re-running completed objective evaluations. The
+// suggestion sequence itself is deterministic (seeded RNG), so only the
+// losses need to be durable.
+type TrialJournal interface {
+	// Lookup returns the recorded trial for index t, if present.
+	Lookup(t int) (Trial, bool)
+	// Record durably persists trial t before returning.
+	Record(t int, tr Trial) error
+}
+
 // Minimize runs the TPE search and returns the best trial plus the full
 // history.
 func Minimize(obj Objective, space Space, cfg Config) (Trial, []Trial) {
+	best, history, _ := MinimizeResumable(obj, space, cfg, nil)
+	return best, history
+}
+
+// MinimizeResumable is Minimize with crash recovery: completed trials
+// found in the journal skip the objective call (their recorded losses are
+// substituted), while the suggestion computation is replayed so the RNG
+// stream — and therefore every subsequent suggestion — matches the
+// uninterrupted run exactly.
+func MinimizeResumable(obj Objective, space Space, cfg Config, journal TrialJournal) (Trial, []Trial, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 30
 	}
@@ -80,20 +101,34 @@ func Minimize(obj Objective, space Space, cfg Config) (Trial, []Trial) {
 	history := make([]Trial, 0, cfg.Trials)
 	best := Trial{Loss: math.Inf(1)}
 	for t := 0; t < cfg.Trials; t++ {
+		// Always compute the suggestion, even for journaled trials: the
+		// RNG draws it consumes are part of the resumable state.
 		var p Params
 		if t < cfg.Warmup {
 			p = randomParams(rng, space)
 		} else {
 			p = tpeSuggest(rng, space, history, cfg)
 		}
-		loss := obj(p)
-		trial := Trial{Params: p, Loss: loss}
+		var trial Trial
+		if journal != nil {
+			if tr, ok := journal.Lookup(t); ok {
+				trial = tr
+			}
+		}
+		if trial.Params == nil {
+			trial = Trial{Params: p, Loss: obj(p)}
+			if journal != nil {
+				if err := journal.Record(t, trial); err != nil {
+					return best, history, err
+				}
+			}
+		}
 		history = append(history, trial)
-		if loss < best.Loss {
+		if trial.Loss < best.Loss {
 			best = trial
 		}
 	}
-	return best, history
+	return best, history, nil
 }
 
 func randomParams(rng *rand.Rand, space Space) Params {

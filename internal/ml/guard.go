@@ -1,0 +1,107 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"trail/internal/mat"
+)
+
+// Numeric guardrails for the training loops. Divergence — a NaN or Inf
+// loss, or non-finite gradients — is detected at the step where it
+// happens and surfaced as a typed error so the caller can roll back to
+// its best checkpoint instead of persisting (or keeping in memory) a
+// poisoned model.
+
+// DivergenceError reports non-finite numerics during training.
+type DivergenceError struct {
+	// Quantity names what diverged ("loss", "gradient", ...).
+	Quantity string
+	// Epoch is the zero-based epoch in which divergence was detected.
+	Epoch int
+	// Value is the offending number (NaN or ±Inf) when a single value is
+	// at fault.
+	Value float64
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("ml: training diverged at epoch %d: non-finite %s (%v)", e.Epoch, e.Quantity, e.Value)
+}
+
+// CheckLoss returns a DivergenceError when the loss is NaN or Inf.
+func CheckLoss(epoch int, loss float64) error {
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		return &DivergenceError{Quantity: "loss", Epoch: epoch, Value: loss}
+	}
+	return nil
+}
+
+// CheckGrads scans every accumulated gradient for NaN or Inf.
+func CheckGrads(epoch int, params []*Param) error {
+	for _, p := range params {
+		for _, g := range p.G.Data {
+			if math.IsNaN(g) || math.IsInf(g, 0) {
+				return &DivergenceError{Quantity: "gradient", Epoch: epoch, Value: g}
+			}
+		}
+	}
+	return nil
+}
+
+// GradNorm returns the global L2 norm over every accumulated gradient.
+func GradNorm(params []*Param) float64 {
+	sum := 0.0
+	for _, p := range params {
+		for _, g := range p.G.Data {
+			sum += g * g
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// ClipGrads rescales all gradients so their global L2 norm does not
+// exceed maxNorm (no-op when maxNorm <= 0 or the norm is already within
+// bounds). It returns the pre-clip norm.
+func ClipGrads(params []*Param, maxNorm float64) float64 {
+	norm := GradNorm(params)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		for i := range p.G.Data {
+			p.G.Data[i] *= scale
+		}
+	}
+	return norm
+}
+
+// CloneParams deep-copies parameter weights (not gradients) — the
+// lightweight best-checkpoint snapshot the rollback path restores from.
+func CloneParams(params []*Param) []*mat.Matrix {
+	out := make([]*mat.Matrix, len(params))
+	for i, p := range params {
+		out[i] = p.W.Clone()
+	}
+	return out
+}
+
+// RestoreParams copies snapshot weights back into params and zeroes the
+// gradients. Shapes must match (they always do for a snapshot taken from
+// the same model).
+func RestoreParams(params []*Param, snap []*mat.Matrix) error {
+	if len(snap) != len(params) {
+		return fmt.Errorf("ml: RestoreParams: %d snapshots for %d params", len(snap), len(params))
+	}
+	for i, p := range params {
+		if snap[i].Rows != p.W.Rows || snap[i].Cols != p.W.Cols {
+			return fmt.Errorf("ml: RestoreParams: param %d is %dx%d, snapshot is %dx%d",
+				i, p.W.Rows, p.W.Cols, snap[i].Rows, snap[i].Cols)
+		}
+	}
+	for i, p := range params {
+		copy(p.W.Data, snap[i].Data)
+		p.G.Zero()
+	}
+	return nil
+}

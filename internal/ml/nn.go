@@ -273,6 +273,9 @@ type NNConfig struct {
 	Seed          int64
 	// Classes is the output dimension; if 0, inferred as max(y)+1 at Fit.
 	Classes int
+	// ClipNorm caps the global gradient L2 norm per step (0 disables
+	// clipping). See guard.go.
+	ClipNorm float64
 	// Quiet suppresses any future logging hooks (reserved).
 	Quiet bool
 }
@@ -372,9 +375,15 @@ func (n *NN) Fit(X *mat.Matrix, y []int) error {
 			for _, l := range n.layers {
 				out = l.forward(out, true)
 			}
-			grad := softmaxCEGrad(out, y, batch)
+			grad, loss := softmaxCEGrad(out, y, batch)
+			if err := CheckLoss(epoch, loss); err != nil {
+				return err
+			}
 			for i := len(n.layers) - 1; i >= 0; i-- {
 				grad = n.layers[i].backward(grad)
+			}
+			if norm := ClipGrads(params, n.Config.ClipNorm); math.IsNaN(norm) || math.IsInf(norm, 0) {
+				return &DivergenceError{Quantity: "gradient", Epoch: epoch, Value: norm}
 			}
 			opt.Step()
 		}
@@ -396,20 +405,27 @@ func (n *NN) buildLayers(inputDim int) {
 }
 
 // softmaxCEGrad converts logits to probabilities and returns the mean
-// cross-entropy gradient (probs - onehot)/batch.
-func softmaxCEGrad(logits *mat.Matrix, y []int, batch []int) *mat.Matrix {
+// cross-entropy gradient (probs - onehot)/batch plus the mean NLL loss,
+// which the trainer's divergence guard inspects.
+func softmaxCEGrad(logits *mat.Matrix, y []int, batch []int) (*mat.Matrix, float64) {
 	grad := logits.Clone()
 	mat.SoftmaxRows(grad)
 	inv := 1 / float64(len(batch))
+	loss := 0.0
 	for i, sample := range batch {
 		row := grad.Row(i)
+		loss -= math.Log(row[y[sample]] + lossEps)
 		row[y[sample]] -= 1
 		for j := range row {
 			row[j] *= inv
 		}
 	}
-	return grad
+	return grad, loss * inv
 }
+
+// lossEps keeps log(p) finite when a softmax output underflows to zero;
+// the guard is after sustained divergence, not one hard sample.
+const lossEps = 1e-300
 
 // PredictProba returns softmax probabilities per row.
 func (n *NN) PredictProba(X *mat.Matrix) *mat.Matrix {
