@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-kernels vet chaos resume
+.PHONY: all build test race bench bench-kernels bench-json bench-check vet chaos resume
 
 all: build test
 
@@ -38,6 +38,20 @@ bench:
 
 bench-kernels:
 	$(GO) test -bench='BenchmarkMatMul|BenchmarkSpMM|BenchmarkLabelPropagationScale' -benchmem
+
+# bench-json re-records the tracked baseline (BENCH_5.json). Run it on a
+# quiet machine after an intentional perf change and commit the result.
+# -benchtime=1x keeps the sweep short; ns/op at 1x is noisy, which is why
+# the gate below uses a generous 20% threshold and alloc discipline is
+# enforced by AllocsPerRun unit tests rather than here.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_5.json
+
+# bench-check is the CI perf gate: fresh short run diffed against the
+# committed baseline, failing on any >=20% ns/op regression.
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -out bench_current.json
+	$(GO) run ./cmd/benchjson -compare -baseline BENCH_5.json -current bench_current.json -threshold 0.20
 
 vet:
 	$(GO) vet ./...

@@ -59,6 +59,7 @@ func fastContext(b *testing.B) *eval.Context {
 // BenchmarkTableII_BuildTKG measures the full pipeline behind Table II:
 // world generation, collection, 2-hop enrichment and graph merge.
 func BenchmarkTableII_BuildTKG(b *testing.B) {
+	b.ReportAllocs()
 	cfg := osint.DefaultConfig()
 	for i := 0; i < b.N; i++ {
 		w := osint.NewWorld(cfg)
@@ -74,6 +75,7 @@ func BenchmarkTableII_BuildTKG(b *testing.B) {
 
 // BenchmarkFigure4_ReuseHistogram regenerates the IOC reuse distribution.
 func BenchmarkFigure4_ReuseHistogram(b *testing.B) {
+	b.ReportAllocs()
 	ctx := defaultCtx(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -85,6 +87,7 @@ func BenchmarkFigure4_ReuseHistogram(b *testing.B) {
 // BenchmarkGraphStats_Connectivity regenerates the §IV/§V structure
 // numbers: components, diameter, event proximity.
 func BenchmarkGraphStats_Connectivity(b *testing.B) {
+	b.ReportAllocs()
 	ctx := defaultCtx(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -97,6 +100,7 @@ func BenchmarkGraphStats_Connectivity(b *testing.B) {
 // BenchmarkTableIII_IOCAttribution regenerates one Table III cell per
 // model on the URL feature matrix (the paper's strongest per-IOC signal).
 func BenchmarkTableIII_IOCAttribution(b *testing.B) {
+	b.ReportAllocs()
 	ctx := fastContext(b)
 	cfg := eval.DefaultTableIIIConfig()
 	cfg.Kinds = []graph.NodeKind{graph.KindURL}
@@ -115,6 +119,7 @@ func BenchmarkTableIII_IOCAttribution(b *testing.B) {
 // BenchmarkTableIV_EventAttribution regenerates the Table IV roster:
 // traditional ML mode voting, LP 2-4L, GNN 2-4L.
 func BenchmarkTableIV_EventAttribution(b *testing.B) {
+	b.ReportAllocs()
 	ctx := fastContext(b)
 	cfg := eval.DefaultTableIVConfig()
 	cfg.Models = []eval.ModelName{eval.ModelRF}
@@ -136,6 +141,7 @@ func BenchmarkTableIV_EventAttribution(b *testing.B) {
 // BenchmarkCaseStudy_NewEvent regenerates the Figs. 5-6 case study:
 // merge, enrich and attribute a post-cutoff event.
 func BenchmarkCaseStudy_NewEvent(b *testing.B) {
+	b.ReportAllocs()
 	ctx := fastContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -150,6 +156,7 @@ func BenchmarkCaseStudy_NewEvent(b *testing.B) {
 // BenchmarkFigure7_MonthlyConfusion regenerates the unseen-month
 // confusion matrix.
 func BenchmarkFigure7_MonthlyConfusion(b *testing.B) {
+	b.ReportAllocs()
 	ctx := fastContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -163,6 +170,7 @@ func BenchmarkFigure7_MonthlyConfusion(b *testing.B) {
 
 // BenchmarkFigure8_Drift regenerates the frozen-vs-retrained drift study.
 func BenchmarkFigure8_Drift(b *testing.B) {
+	b.ReportAllocs()
 	ctx := fastContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -177,6 +185,7 @@ func BenchmarkFigure8_Drift(b *testing.B) {
 // BenchmarkFigure9_SHAP regenerates the SHAP feature ranking for the XGB
 // URL classifier.
 func BenchmarkFigure9_SHAP(b *testing.B) {
+	b.ReportAllocs()
 	ctx := fastContext(b)
 	cfg := eval.DefaultFigure9Config()
 	b.ResetTimer()
@@ -192,6 +201,7 @@ func BenchmarkFigure9_SHAP(b *testing.B) {
 // BenchmarkFigure10_GNNExplainer regenerates the explanation subgraph for
 // one event.
 func BenchmarkFigure10_GNNExplainer(b *testing.B) {
+	b.ReportAllocs()
 	ctx := fastContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -207,6 +217,7 @@ func BenchmarkFigure10_GNNExplainer(b *testing.B) {
 // world scale (comparable event count to the paper's 4,512), reporting
 // throughput in nodes and edges.
 func BenchmarkTKGScale_Build(b *testing.B) {
+	b.ReportAllocs()
 	cfg := osint.DefaultConfig()
 	cfg.Months = 48
 	cfg.EventsPerMonth = 90
@@ -224,6 +235,7 @@ func BenchmarkTKGScale_Build(b *testing.B) {
 // BenchmarkLabelPropagationScale measures LP 4L on the large graph — the
 // traversal hot path of the production attribution flow.
 func BenchmarkLabelPropagationScale(b *testing.B) {
+	b.ReportAllocs()
 	cfg := osint.DefaultConfig()
 	cfg.Months = 48
 	cfg.EventsPerMonth = 90
@@ -252,6 +264,7 @@ func BenchmarkLabelPropagationScale(b *testing.B) {
 // (layer forward/backward), at a shape typical of SAGE hidden layers on
 // the default world.
 func BenchmarkMatMul(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	a := mat.RandNormal(rng, 4096, 64, 0, 1)
 	w := mat.RandNormal(rng, 64, 64, 0, 1)
@@ -267,6 +280,7 @@ func BenchmarkMatMul(b *testing.B) {
 // roughly the default world's size and density (mean-normalised
 // neighbour aggregation over 64-dim features).
 func BenchmarkSpMM(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(2))
 	const n, edges = 20000, 80000
 	adj := make([][]graph.NodeID, n)
@@ -293,6 +307,7 @@ func BenchmarkSpMM(b *testing.B) {
 // BenchmarkAblation_EnrichmentDepth compares LP 3L with and without the
 // secondary-IOC enrichment.
 func BenchmarkAblation_EnrichmentDepth(b *testing.B) {
+	b.ReportAllocs()
 	ctx := fastContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -307,6 +322,7 @@ func BenchmarkAblation_EnrichmentDepth(b *testing.B) {
 // BenchmarkAblation_EncoderType compares trained autoencoders against
 // random projections as GNN input encoders.
 func BenchmarkAblation_EncoderType(b *testing.B) {
+	b.ReportAllocs()
 	ctx := fastContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -320,6 +336,7 @@ func BenchmarkAblation_EncoderType(b *testing.B) {
 
 // BenchmarkAblation_L2Norm compares Eq. 4 normalisation on and off.
 func BenchmarkAblation_L2Norm(b *testing.B) {
+	b.ReportAllocs()
 	ctx := fastContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -334,6 +351,7 @@ func BenchmarkAblation_L2Norm(b *testing.B) {
 // BenchmarkAblation_SMOTE compares Table III balanced accuracy with and
 // without SMOTE oversampling.
 func BenchmarkAblation_SMOTE(b *testing.B) {
+	b.ReportAllocs()
 	ctx := fastContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -347,6 +365,7 @@ func BenchmarkAblation_SMOTE(b *testing.B) {
 
 // BenchmarkFigure3_EgoNet regenerates the enriched ego-net census.
 func BenchmarkFigure3_EgoNet(b *testing.B) {
+	b.ReportAllocs()
 	ctx := defaultCtx(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,211 @@
+// benchjson turns `go test -bench -benchmem` output into a tracked JSON
+// baseline and diffs two such files with a regression threshold.
+//
+// Record mode (default) reads benchmark output on stdin:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -out BENCH_5.json
+//
+// Compare mode diffs a fresh run against the committed baseline and exits
+// non-zero if any benchmark's ns/op regressed by more than -threshold
+// (a fraction; 0.20 means "20% slower fails"):
+//
+//	go run ./cmd/benchjson -compare -baseline BENCH_5.json -current /tmp/new.json
+//
+// allocs/op and B/op are recorded for every benchmark but only reported,
+// not gated: ns/op on a shared CI runner is noisy enough already, and the
+// allocation discipline is enforced by the AllocsPerRun unit tests instead.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Name has the -GOMAXPROCS suffix stripped
+// so keys stay stable across machines; Pkg comes from the preceding
+// "pkg:" header go test prints per package.
+type Result struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the envelope written to BENCH_5.json.
+type File struct {
+	Note       string   `json:"note"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func (r Result) key() string { return r.Pkg + "." + r.Name }
+
+// benchLine matches the head of e.g.
+//
+//	BenchmarkMatMulInto-8   200   1027587 ns/op   0 B/op   0 allocs/op
+//
+// B/op and allocs/op are pulled out separately because custom
+// b.ReportMetric values ("0.027 smote-gain") can sit between ns/op and
+// the -benchmem fields, and both are absent entirely without -benchmem.
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+	bytesRe   = regexp.MustCompile(`\s(\d+) B/op`)
+	allocsRe  = regexp.MustCompile(`\s(\d+) allocs/op`)
+	pkgLine   = regexp.MustCompile(`^pkg:\s+(\S+)`)
+)
+
+func parse(lines *bufio.Scanner) ([]Result, error) {
+	var out []Result
+	pkg := ""
+	for lines.Scan() {
+		line := lines.Text()
+		if m := pkgLine.FindStringSubmatch(line); m != nil {
+			pkg = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %v", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		r := Result{Pkg: pkg, Name: m[1], Iterations: iters, NsPerOp: ns}
+		if bm := bytesRe.FindStringSubmatch(line); bm != nil {
+			r.BytesPerOp, _ = strconv.ParseInt(bm[1], 10, 64)
+		}
+		if am := allocsRe.FindStringSubmatch(line); am != nil {
+			r.AllocsPerOp, _ = strconv.ParseInt(am[1], 10, 64)
+		}
+		out = append(out, r)
+	}
+	if err := lines.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out, nil
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &f, nil
+}
+
+// compare reports regressions of current vs baseline. It returns the
+// human-readable report and whether any benchmark crossed the threshold.
+func compare(baseline, current *File, threshold float64) (string, bool) {
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		base[r.key()] = r
+	}
+	var b strings.Builder
+	failed := false
+	seen := make(map[string]bool, len(current.Benchmarks))
+	for _, cur := range current.Benchmarks {
+		seen[cur.key()] = true
+		old, ok := base[cur.key()]
+		if !ok {
+			fmt.Fprintf(&b, "NEW    %-60s %12.0f ns/op %8d allocs/op\n", cur.key(), cur.NsPerOp, cur.AllocsPerOp)
+			continue
+		}
+		ratio := 0.0
+		if old.NsPerOp > 0 {
+			ratio = cur.NsPerOp/old.NsPerOp - 1
+		}
+		status := "ok"
+		if ratio > threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(&b, "%-6s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)  %d -> %d allocs/op\n",
+			status, cur.key(), old.NsPerOp, cur.NsPerOp, ratio*100, old.AllocsPerOp, cur.AllocsPerOp)
+	}
+	for key := range base {
+		if !seen[key] {
+			fmt.Fprintf(&b, "GONE   %s (in baseline, not in current run)\n", key)
+		}
+	}
+	return b.String(), failed
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write parsed results as JSON to this path (record mode)")
+		doCompare = flag.Bool("compare", false, "compare -current against -baseline instead of recording")
+		basePath  = flag.String("baseline", "BENCH_5.json", "baseline JSON (compare mode)")
+		curPath   = flag.String("current", "", "current-run JSON (compare mode)")
+		threshold = flag.Float64("threshold", 0.20, "ns/op regression fraction that fails the comparison")
+		note      = flag.String("note", "", "free-form note stored in the JSON envelope")
+	)
+	flag.Parse()
+
+	if *doCompare {
+		if *curPath == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare requires -current")
+			os.Exit(2)
+		}
+		baseline, err := load(*basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		current, err := load(*curPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		report, failed := compare(baseline, current, *threshold)
+		fmt.Print(report)
+		if failed {
+			fmt.Fprintf(os.Stderr, "benchjson: ns/op regression over %.0f%% threshold\n", *threshold*100)
+			os.Exit(1)
+		}
+		return
+	}
+
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(2)
+	}
+	f := File{Note: *note, Benchmarks: results}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}

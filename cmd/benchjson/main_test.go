@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: trail/internal/mat
+cpu: shared runner
+BenchmarkMatMulInto-8        	     200	   1027587 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMatMulAlloc-8       	     100	   2437467 ns/op	  131256 B/op	       4 allocs/op
+ok  	trail/internal/mat	0.210s
+pkg: trail/internal/sparse
+BenchmarkSpMMInto-8          	      50	   3021894 ns/op	       3 B/op	       0 allocs/op
+ok  	trail/internal/sparse	0.178s
+pkg: trail
+BenchmarkNoMemFlag-8         	      10	    500000 ns/op
+BenchmarkCustomMetric-8      	       1	  90209707 ns/op	         0.02729 smote-gain	75516792 B/op	   63475 allocs/op
+ok  	trail	1.0s
+`
+
+func parseSample(t *testing.T, text string) []Result {
+	t.Helper()
+	results, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	results := parseSample(t, sampleOutput)
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5: %+v", len(results), results)
+	}
+	byKey := make(map[string]Result)
+	for _, r := range results {
+		byKey[r.key()] = r
+	}
+	mm := byKey["trail/internal/mat.BenchmarkMatMulInto"]
+	if mm.NsPerOp != 1027587 || mm.Iterations != 200 || mm.AllocsPerOp != 0 {
+		t.Fatalf("MatMulInto parsed wrong: %+v", mm)
+	}
+	al := byKey["trail/internal/mat.BenchmarkMatMulAlloc"]
+	if al.BytesPerOp != 131256 || al.AllocsPerOp != 4 {
+		t.Fatalf("MatMulAlloc parsed wrong: %+v", al)
+	}
+	sp := byKey["trail/internal/sparse.BenchmarkSpMMInto"]
+	if sp.Pkg != "trail/internal/sparse" || sp.BytesPerOp != 3 {
+		t.Fatalf("SpMMInto parsed wrong: %+v", sp)
+	}
+	// Lines without -benchmem fields still parse, with zero alloc stats.
+	nm := byKey["trail.BenchmarkNoMemFlag"]
+	if nm.NsPerOp != 500000 || nm.BytesPerOp != 0 || nm.AllocsPerOp != 0 {
+		t.Fatalf("NoMemFlag parsed wrong: %+v", nm)
+	}
+	// Custom b.ReportMetric values between ns/op and B/op must not hide
+	// the -benchmem fields.
+	cm := byKey["trail.BenchmarkCustomMetric"]
+	if cm.BytesPerOp != 75516792 || cm.AllocsPerOp != 63475 {
+		t.Fatalf("CustomMetric parsed wrong: %+v", cm)
+	}
+}
+
+func TestParseSortsByKey(t *testing.T) {
+	results := parseSample(t, sampleOutput)
+	for i := 1; i < len(results); i++ {
+		if results[i-1].key() > results[i].key() {
+			t.Fatalf("results not sorted: %q after %q", results[i].key(), results[i-1].key())
+		}
+	}
+}
+
+func bench(pkg, name string, ns float64, allocs int64) Result {
+	return Result{Pkg: pkg, Name: name, NsPerOp: ns, AllocsPerOp: allocs, Iterations: 1}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	baseline := &File{Benchmarks: []Result{bench("p", "BenchmarkA", 1000, 0)}}
+	current := &File{Benchmarks: []Result{bench("p", "BenchmarkA", 1150, 0)}}
+	report, failed := compare(baseline, current, 0.20)
+	if failed {
+		t.Fatalf("15%% regression failed at 20%% threshold:\n%s", report)
+	}
+	if !strings.Contains(report, "ok") {
+		t.Fatalf("report missing ok line:\n%s", report)
+	}
+}
+
+func TestCompareOverThresholdFails(t *testing.T) {
+	baseline := &File{Benchmarks: []Result{
+		bench("p", "BenchmarkA", 1000, 0),
+		bench("p", "BenchmarkB", 1000, 0),
+	}}
+	current := &File{Benchmarks: []Result{
+		bench("p", "BenchmarkA", 1300, 0), // +30%: over
+		bench("p", "BenchmarkB", 900, 0),  // faster: fine
+	}}
+	report, failed := compare(baseline, current, 0.20)
+	if !failed {
+		t.Fatalf("30%% regression passed at 20%% threshold:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL") || !strings.Contains(report, "BenchmarkA") {
+		t.Fatalf("report missing FAIL line for BenchmarkA:\n%s", report)
+	}
+}
+
+func TestCompareNewAndGoneAreNotFailures(t *testing.T) {
+	baseline := &File{Benchmarks: []Result{bench("p", "BenchmarkOld", 1000, 0)}}
+	current := &File{Benchmarks: []Result{bench("p", "BenchmarkNew", 99999, 7)}}
+	report, failed := compare(baseline, current, 0.20)
+	if failed {
+		t.Fatalf("added/removed benchmarks must not fail the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "NEW") || !strings.Contains(report, "GONE") {
+		t.Fatalf("report missing NEW/GONE lines:\n%s", report)
+	}
+}

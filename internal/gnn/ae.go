@@ -48,6 +48,39 @@ func (l *linear) backward(x, grad *mat.Matrix) *mat.Matrix {
 
 func (l *linear) params() []*ml.Param { return []*ml.Param{l.w, l.b} }
 
+// forwardWS is forward with the output borrowed from ws instead of
+// allocated — identical arithmetic (MatMulInto writes the same ikj
+// product into a zeroed buffer, then the bias row is added).
+func (l *linear) forwardWS(ws *mat.Workspace, x *mat.Matrix) *mat.Matrix {
+	out := ws.GetDirty(x.Rows, l.w.W.Cols)
+	mat.MatMulInto(out, x, l.w.W)
+	out.AddRowVector(l.b.W.Row(0))
+	return out
+}
+
+// backwardWS is backward with both scratch products borrowed from ws.
+// The weight-gradient product lands in a zeroed buffer and is added into
+// l.w.G exactly like the fresh MatMulTransA the allocating path used.
+func (l *linear) backwardWS(ws *mat.Workspace, x, grad *mat.Matrix) *mat.Matrix {
+	l.accumulateWS(ws, x, grad)
+	out := ws.GetDirty(grad.Rows, l.w.W.Rows)
+	mat.MatMulTransBInto(out, grad, l.w.W)
+	return out
+}
+
+// accumulateWS accumulates the parameter gradients only, skipping the
+// input-gradient product — for the first layer of a network, whose input
+// gradient nobody consumes.
+func (l *linear) accumulateWS(ws *mat.Workspace, x, grad *mat.Matrix) {
+	tmp := ws.GetDirty(l.w.G.Rows, l.w.G.Cols)
+	mat.MatMulTransAInto(tmp, x, grad)
+	mat.AddInPlace(l.w.G, tmp)
+	bg := l.b.G.Row(0)
+	for i := 0; i < grad.Rows; i++ {
+		mat.Axpy(1, grad.Row(i), bg)
+	}
+}
+
 // reluForward returns max(x,0) and the mask for backprop.
 func reluForward(x *mat.Matrix) (out, mask *mat.Matrix) {
 	out = x.Clone()
@@ -156,6 +189,12 @@ func (a *Autoencoder) FitCtx(ctx context.Context, X *mat.Matrix) error {
 		mat.Shuffle(rng, idx)
 		idx = idx[:cfg.MaxRows]
 	}
+	// All per-batch scratch comes from one workspace, rewound per batch:
+	// steady-state epochs allocate nothing. The smaller final batch
+	// reshapes the same buffers in place (capacity is sized by the first,
+	// full-size batch).
+	ws := newTrainWorkspace()
+	defer ws.Release()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -167,27 +206,34 @@ func (a *Autoencoder) FitCtx(ctx context.Context, X *mat.Matrix) error {
 			if end > len(idx) {
 				end = len(idx)
 			}
-			xb := X.SelectRows(idx[start:end])
-			// Forward.
-			h1 := a.enc1.forward(xb)
-			h1a, m1 := reluForward(h1)
-			code := a.enc2.forward(h1a)
-			d1 := a.dec1.forward(code)
-			d1a, m2 := reluForward(d1)
-			recon := a.dec2.forward(d1a)
-			// MSE gradient: 2(recon - x)/n.
-			diff := mat.Sub(recon, xb)
+			ws.Reset()
+			xb := ws.GetDirty(end-start, X.Cols)
+			mat.SelectRowsInto(xb, X, idx[start:end])
+			// Forward. Pre-activations are never reused, so bias+ReLU fuse
+			// in place; the masks are all backprop needs.
+			h1 := ws.GetDirty(xb.Rows, a.enc1.w.W.Cols)
+			mat.MatMulInto(h1, xb, a.enc1.w.W)
+			m1 := ws.GetDirty(h1.Rows, h1.Cols)
+			mat.AddBiasReLUInto(h1, a.enc1.b.W.Row(0), m1)
+			code := a.enc2.forwardWS(ws, h1)
+			d1 := ws.GetDirty(code.Rows, a.dec1.w.W.Cols)
+			mat.MatMulInto(d1, code, a.dec1.w.W)
+			m2 := ws.GetDirty(d1.Rows, d1.Cols)
+			mat.AddBiasReLUInto(d1, a.dec1.b.W.Row(0), m2)
+			recon := a.dec2.forwardWS(ws, d1)
+			// MSE gradient: 2(recon - x)/n, in the recon buffer.
+			diff := mat.SubInPlace(recon, xb)
 			for _, v := range diff.Data {
 				epochLoss += v * v
 			}
 			grad := diff.Scale(2 / float64(xb.Rows*xb.Cols))
 			// Backward.
-			g := a.dec2.backward(d1a, grad)
-			g = mat.Hadamard(g, m2)
-			g = a.dec1.backward(code, g)
-			g = a.enc2.backward(h1a, g)
-			g = mat.Hadamard(g, m1)
-			a.enc1.backward(xb, g)
+			g := a.dec2.backwardWS(ws, d1, grad)
+			mat.HadamardInPlace(g, m2)
+			g = a.dec1.backwardWS(ws, code, g)
+			g = a.enc2.backwardWS(ws, h1, g)
+			mat.HadamardInPlace(g, m1)
+			a.enc1.accumulateWS(ws, xb, g)
 			opt.Step()
 		}
 		if err := ml.CheckLoss(epoch, epochLoss); err != nil {

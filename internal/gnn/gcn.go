@@ -151,7 +151,9 @@ func TrainGCNCtx(in Input, trainEvents []graph.NodeID, cfg Config, opts TrainOpt
 		})
 	}
 
-	order := make([]int, len(trainEvents))
+	scr := newGCNScratch(g, len(trainEvents))
+	defer scr.ws.Release()
+	order := scr.order
 	bestLoss := math.Inf(1)
 	var bestW []*mat.Matrix
 	for epoch := start; epoch < g.Config.Epochs; epoch++ {
@@ -170,20 +172,20 @@ func TrainGCNCtx(in Input, trainEvents []graph.NodeID, cfg Config, opts TrainOpt
 		half := len(order) / 2
 		epochLoss, passes := 0.0, 0
 		for pass := 0; pass < 2; pass++ {
-			visible := make(map[graph.NodeID]int, half)
-			var targets []graph.NodeID
+			clear(scr.visible)
+			scr.targets = scr.targets[:0]
 			for i, oi := range order {
 				ev := trainEvents[oi]
 				if (i < half) == (pass == 0) {
-					visible[ev] = in.Labels[ev]
+					scr.visible[ev] = in.Labels[ev]
 				} else {
-					targets = append(targets, ev)
+					scr.targets = append(scr.targets, ev)
 				}
 			}
-			if len(targets) == 0 {
+			if len(scr.targets) == 0 {
 				continue
 			}
-			loss, err := g.step(in, s, visible, targets, ps, opt, epoch)
+			loss, err := g.step(in, s, scr, ps, opt, epoch)
 			if err != nil {
 				if bestW != nil {
 					ml.RestoreParams(ps, bestW)
@@ -202,7 +204,11 @@ func TrainGCNCtx(in Input, trainEvents []graph.NodeID, cfg Config, opts TrainOpt
 			}
 			if l := epochLoss / float64(passes); l < bestLoss {
 				bestLoss = l
-				bestW = ml.CloneParams(ps)
+				if bestW == nil {
+					bestW = ml.CloneParams(ps)
+				} else if err := ml.CopyParams(bestW, ps); err != nil {
+					return nil, err
+				}
 			}
 		}
 		if (epoch+1)%opts.every() == 0 {
@@ -220,8 +226,37 @@ type gcnActs struct {
 	out    *mat.Matrix
 }
 
-func (g *GCN) forward(in Input, s *sparse.Matrix, visible map[graph.NodeID]int) *gcnActs {
-	h := in.Enc.Clone()
+// gcnScratch mirrors sageScratch: one workspace plus the small reusable
+// slices, so steady-state epochs allocate nothing.
+type gcnScratch struct {
+	ws      *mat.Workspace
+	acts    gcnActs
+	probs   []float64
+	order   []int
+	targets []graph.NodeID
+	visible map[graph.NodeID]int
+	lg      labelGradScratch
+}
+
+func newGCNScratch(g *GCN, nTrain int) *gcnScratch {
+	L := len(g.layers)
+	return &gcnScratch{
+		ws: newTrainWorkspace(),
+		acts: gcnActs{
+			inputs: make([]*mat.Matrix, L),
+			masks:  make([]*mat.Matrix, L),
+		},
+		probs:   make([]float64, g.classes),
+		order:   make([]int, nTrain),
+		targets: make([]graph.NodeID, 0, nTrain),
+		visible: make(map[graph.NodeID]int, nTrain/2+1),
+		lg:      newLabelGradScratch(g.classes, nTrain),
+	}
+}
+
+func (g *GCN) forward(in Input, s *sparse.Matrix, visible map[graph.NodeID]int, ws *mat.Workspace, acts *gcnActs) *gcnActs {
+	h := ws.GetDirty(in.Enc.Rows, in.Enc.Cols)
+	mat.CopyInto(h, in.Enc)
 	for ev, c := range visible {
 		if c >= 0 && c < g.classes {
 			row := h.Row(int(ev))
@@ -229,62 +264,47 @@ func (g *GCN) forward(in Input, s *sparse.Matrix, visible map[graph.NodeID]int) 
 			mat.Axpy(1, g.labelEmb.b.W.Row(0), row)
 		}
 	}
-	acts := &gcnActs{}
 	for li, layer := range g.layers {
-		prop := s.Mul(h)
-		acts.inputs = append(acts.inputs, prop)
-		z := layer.forward(prop)
+		prop := ws.GetDirty(s.Rows, h.Cols)
+		s.SpMMInto(prop, h)
+		acts.inputs[li] = prop
+		z := layer.forwardWS(ws, prop)
 		if li == len(g.layers)-1 {
-			acts.masks = append(acts.masks, nil)
+			acts.masks[li] = nil
 			acts.out = z
 			h = z
 			continue
 		}
-		a, mask := reluForward(z)
-		acts.masks = append(acts.masks, mask)
-		h = a
+		mask := ws.GetDirty(z.Rows, z.Cols)
+		mat.ReLUMaskInto(z, mask)
+		acts.masks[li] = mask
+		h = z
 	}
 	return acts
 }
 
-func (g *GCN) step(in Input, s *sparse.Matrix, visible map[graph.NodeID]int, targets []graph.NodeID, ps []*ml.Param, opt *ml.Adam, epoch int) (float64, error) {
-	acts := g.forward(in, s, visible)
+func (g *GCN) step(in Input, s *sparse.Matrix, scr *gcnScratch, ps []*ml.Param, opt *ml.Adam, epoch int) (float64, error) {
+	scr.ws.Reset()
+	acts := g.forward(in, s, scr.visible, scr.ws, &scr.acts)
 	logits := acts.out
 
-	grad := mat.New(logits.Rows, logits.Cols)
-	inv := 1 / float64(len(targets))
-	probs := make([]float64, logits.Cols)
-	loss := 0.0
-	for _, ev := range targets {
-		mat.Softmax(probs, logits.Row(int(ev)))
-		loss -= math.Log(probs[in.Labels[ev]] + 1e-300)
-		dst := grad.Row(int(ev))
-		copy(dst, probs)
-		dst[in.Labels[ev]] -= 1
-		for j := range dst {
-			dst[j] *= inv
-		}
-	}
-	loss *= inv
+	grad := scr.ws.Get(logits.Rows, logits.Cols)
+	loss := mat.SoftmaxCrossEntropyInto(grad, logits, scr.targets, in.Labels, scr.probs)
 
 	gr := grad
 	for li := len(g.layers) - 1; li >= 0; li-- {
 		if li < len(g.layers)-1 {
-			gr = mat.Hadamard(gr, acts.masks[li])
+			mat.HadamardInPlace(gr, acts.masks[li])
 		}
-		gr = g.layers[li].backward(acts.inputs[li], gr)
+		gr = g.layers[li].backwardWS(scr.ws, acts.inputs[li], gr)
 		// Adjoint of the symmetric propagation is the propagation itself.
-		gr = s.Mul(gr)
+		gp := scr.ws.GetDirty(s.Rows, gr.Cols)
+		s.SpMMInto(gp, gr)
+		gr = gp
 	}
-	// Ordered iteration: shared-class rows accumulate in a fixed order so
-	// training stays bit-reproducible (see sortedVisible).
-	for _, ev := range sortedVisible(visible) {
-		if c := visible[ev]; c >= 0 && c < g.classes {
-			row := gr.Row(int(ev))
-			mat.Axpy(1, row, g.labelEmb.w.G.Row(c))
-			mat.Axpy(1, row, g.labelEmb.b.G.Row(0))
-		}
-	}
+	// Shared-class rows accumulate in a fixed order so training stays
+	// bit-reproducible (see labelGradScratch).
+	scr.lg.accumulate(gr, scr.visible, g.labelEmb, g.classes)
 	if norm := ml.ClipGrads(ps, g.Config.ClipNorm); math.IsNaN(norm) || math.IsInf(norm, 0) {
 		return loss, &ml.DivergenceError{Quantity: "gradient", Epoch: epoch, Value: norm}
 	}
@@ -292,9 +312,16 @@ func (g *GCN) step(in Input, s *sparse.Matrix, visible map[graph.NodeID]int, tar
 	return loss, nil
 }
 
-// Predict returns the argmax attribution per query event.
+// Predict returns the argmax attribution per query event. All forward
+// scratch is pooled; only the returned slice is allocated.
 func (g *GCN) Predict(in Input, visible map[graph.NodeID]int, queries []graph.NodeID) []int {
-	acts := g.forward(in, gcnOperator(in), visible)
+	ws := mat.NewWorkspace()
+	defer ws.Release()
+	acts := gcnActs{
+		inputs: make([]*mat.Matrix, len(g.layers)),
+		masks:  make([]*mat.Matrix, len(g.layers)),
+	}
+	g.forward(in, gcnOperator(in), visible, ws, &acts)
 	out := make([]int, len(queries))
 	for i, q := range queries {
 		out[i] = mat.Argmax(acts.out.Row(int(q)))

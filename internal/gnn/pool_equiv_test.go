@@ -1,0 +1,150 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"trail/internal/graph"
+	"trail/internal/mat"
+	"trail/internal/ml"
+)
+
+// The pooled hot loops must be arithmetically invisible: training with
+// workspace-pooled scratch produces weights bit-identical to training
+// with freshly allocated scratch (the pre-pool behaviour, preserved by
+// mat.NewAllocWorkspace). These tests swap the workspace constructor via
+// the newTrainWorkspace hook and compare every parameter bit.
+
+func withAllocWorkspace(t *testing.T, f func()) {
+	t.Helper()
+	orig := newTrainWorkspace
+	newTrainWorkspace = mat.NewAllocWorkspace
+	defer func() { newTrainWorkspace = orig }()
+	f()
+}
+
+func assertParamsBitIdentical(t *testing.T, name string, got, want []*ml.Param) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d params vs %d", name, len(got), len(want))
+	}
+	for pi := range want {
+		g, w := got[pi].W, want[pi].W
+		if g.Rows != w.Rows || g.Cols != w.Cols {
+			t.Fatalf("%s: param %d shape %dx%d vs %dx%d", name, pi, g.Rows, g.Cols, w.Rows, w.Cols)
+		}
+		for i := range w.Data {
+			if math.Float64bits(g.Data[i]) != math.Float64bits(w.Data[i]) {
+				t.Fatalf("%s: param %d Data[%d] = %v, want %v", name, pi, i, g.Data[i], w.Data[i])
+			}
+		}
+	}
+}
+
+func equivTrainSetup(t *testing.T) (Input, []graph.NodeID) {
+	t.Helper()
+	in, byClass := buildToyAttributionGraph(t, 3, 8, 5)
+	var train []graph.NodeID
+	for _, evs := range byClass {
+		train = append(train, evs...)
+	}
+	return in, train
+}
+
+func TestSAGEPooledTrainingMatchesAllocating(t *testing.T) {
+	in, train := equivTrainSetup(t)
+	for _, cfg := range []Config{
+		{Layers: 2, Hidden: 16, Encoding: 16, LR: 1e-2, Epochs: 5, Seed: 1},
+		{Layers: 2, Hidden: 16, Encoding: 16, LR: 1e-2, Epochs: 5, Seed: 1, MaxNeighbors: 2},
+		{Layers: 2, Hidden: 16, Encoding: 16, LR: 1e-2, Epochs: 5, Seed: 1, ClipNorm: 0.5},
+		{Layers: 3, Hidden: 16, Encoding: 16, LR: 1e-2, Epochs: 5, Seed: 1, NoL2: true},
+	} {
+		var ref *Model
+		withAllocWorkspace(t, func() {
+			var err error
+			ref, err = Train(in, train, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		pooled, err := Train(in, train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertParamsBitIdentical(t, "SAGE", pooled.params(), ref.params())
+	}
+}
+
+func TestGCNPooledTrainingMatchesAllocating(t *testing.T) {
+	in, train := equivTrainSetup(t)
+	cfg := Config{Layers: 2, Hidden: 16, Encoding: 16, LR: 1e-2, Epochs: 5, Seed: 1}
+	var ref *GCN
+	withAllocWorkspace(t, func() {
+		var err error
+		ref, err = TrainGCN(in, train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	pooled, err := TrainGCN(in, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertParamsBitIdentical(t, "GCN", pooled.params(), ref.params())
+}
+
+func TestAEPooledTrainingMatchesAllocating(t *testing.T) {
+	X := mat.New(150, 24)
+	for i := range X.Data {
+		X.Data[i] = math.Sin(float64(i) * 0.7331)
+	}
+	cfg := AEConfig{Hidden: 16, Encoding: 8, LR: 1e-3, Epochs: 4, Batch: 32, Seed: 5}
+	var ref *Autoencoder
+	withAllocWorkspace(t, func() {
+		ref = NewAutoencoder(cfg)
+		if err := ref.Fit(X); err != nil {
+			t.Fatal(err)
+		}
+	})
+	pooled := NewAutoencoder(cfg)
+	if err := pooled.Fit(X); err != nil {
+		t.Fatal(err)
+	}
+	var got, want []*ml.Param
+	for _, l := range []*linear{pooled.enc1, pooled.enc2, pooled.dec1, pooled.dec2} {
+		got = append(got, l.params()...)
+	}
+	for _, l := range []*linear{ref.enc1, ref.enc2, ref.dec1, ref.dec2} {
+		want = append(want, l.params()...)
+	}
+	assertParamsBitIdentical(t, "AE", got, want)
+}
+
+// TestForwardInferMatchesTrainingForward pins the fused inference path
+// (SAGELayerInto + in-place relu/L2) to the training forward's logits.
+func TestForwardInferMatchesTrainingForward(t *testing.T) {
+	in, train := equivTrainSetup(t)
+	for _, cfg := range []Config{
+		{Layers: 2, Hidden: 16, Encoding: 16, LR: 1e-2, Epochs: 4, Seed: 2},
+		{Layers: 2, Hidden: 16, Encoding: 16, LR: 1e-2, Epochs: 4, Seed: 2, NoL2: true},
+	} {
+		m, err := Train(in, train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		visible := make(map[graph.NodeID]int, len(train))
+		for _, ev := range train {
+			visible[ev] = in.Labels[ev]
+		}
+		agg := meanOperator(in)
+
+		ws := mat.NewWorkspace()
+		scr := newSageScratch(m, len(train))
+		trainActs := m.forward(in, agg, visible, scr.ws, &scr.acts)
+		wantLogits := trainActs.h[len(trainActs.h)-1]
+		gotLogits := m.forwardInfer(in, agg, visible, ws)
+		assertBitEqual(t, "forwardInfer logits", gotLogits, wantLogits)
+		ws.Release()
+		scr.ws.Release()
+	}
+}

@@ -4,11 +4,12 @@ import (
 	"errors"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"trail/internal/graph"
 	"trail/internal/mat"
 	"trail/internal/ml"
+	"trail/internal/par"
 	"trail/internal/sparse"
 )
 
@@ -202,6 +203,44 @@ func (m *Model) FineTune(in Input, trainEvents []graph.NodeID, epochs int) error
 	return m.fit(in, trainEvents, epochs, TrainOpts{})
 }
 
+// newTrainWorkspace supplies the scratch arena for every fit loop. Tests
+// swap in mat.NewAllocWorkspace to run the identical arithmetic with
+// fresh allocations and assert bit-identical weights (the pooled-vs-
+// allocating equivalence contract).
+var newTrainWorkspace = mat.NewWorkspace
+
+// sageScratch carries every buffer the epoch loop reuses: the workspace
+// for matrix scratch, the per-step activation slots, and the small
+// slices (shuffle order, targets, softmax probs, label-gradient buckets)
+// that used to be reallocated per pass.
+type sageScratch struct {
+	ws      *mat.Workspace
+	acts    activations
+	probs   []float64
+	order   []int
+	targets []graph.NodeID
+	visible map[graph.NodeID]int
+	lg      labelGradScratch
+}
+
+func newSageScratch(m *Model, nTrain int) *sageScratch {
+	L := len(m.layers)
+	return &sageScratch{
+		ws: newTrainWorkspace(),
+		acts: activations{
+			means: make([]*mat.Matrix, L),
+			masks: make([]*mat.Matrix, L),
+			norms: make([][]float64, L),
+			h:     make([]*mat.Matrix, L),
+		},
+		probs:   make([]float64, m.classes),
+		order:   make([]int, nTrain),
+		targets: make([]graph.NodeID, 0, nTrain),
+		visible: make(map[graph.NodeID]int, nTrain/2+1),
+		lg:      newLabelGradScratch(m.classes, nTrain),
+	}
+}
+
 func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int, opts TrainOpts) error {
 	if len(trainEvents) < 2 {
 		return errors.New("gnn: need at least 2 training events")
@@ -239,10 +278,13 @@ func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int, opts Train
 		})
 	}
 
-	order := make([]int, len(trainEvents))
+	scr := newSageScratch(m, len(trainEvents))
+	defer scr.ws.Release()
+	order := scr.order
 	// Best-checkpoint rollback: track the lowest-loss epoch's weights so a
 	// divergent step surfaces a typed error over a usable model instead of
-	// NaN weights.
+	// NaN weights. The snapshot storage is allocated once and refreshed in
+	// place.
 	bestLoss := math.Inf(1)
 	var bestW []*mat.Matrix
 	rollback := func() {
@@ -271,24 +313,24 @@ func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int, opts Train
 		epochLoss, passes := 0.0, 0
 		// Alternate which half is context vs target across epochs.
 		for pass := 0; pass < 2; pass++ {
-			visible := make(map[graph.NodeID]int, half)
-			var targets []graph.NodeID
+			clear(scr.visible)
+			scr.targets = scr.targets[:0]
 			for i, oi := range order {
 				ev := trainEvents[oi]
 				if (i < half) == (pass == 0) {
-					visible[ev] = in.Labels[ev]
+					scr.visible[ev] = in.Labels[ev]
 				} else {
-					targets = append(targets, ev)
+					scr.targets = append(scr.targets, ev)
 				}
 			}
-			if len(targets) == 0 {
+			if len(scr.targets) == 0 {
 				continue
 			}
 			agg := mean
 			if m.Config.MaxNeighbors > 0 {
 				agg = sparse.FromAdj(sampleAdj(rng, in.Adj, m.Config.MaxNeighbors)).MeanNormalized()
 			}
-			loss, err := m.step(in, agg, visible, targets, ps, opt, epoch)
+			loss, err := m.step(in, agg, scr, ps, opt, epoch)
 			if err != nil {
 				rollback()
 				return err
@@ -303,7 +345,11 @@ func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int, opts Train
 			}
 			if l := epochLoss / float64(passes); l < bestLoss {
 				bestLoss = l
-				bestW = ml.CloneParams(ps)
+				if bestW == nil {
+					bestW = ml.CloneParams(ps)
+				} else if err := ml.CopyParams(bestW, ps); err != nil {
+					return err
+				}
 			}
 		}
 		if (epoch+1)%opts.every() == 0 {
@@ -318,29 +364,17 @@ func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int, opts Train
 // step runs one full-graph forward/backward pass and an optimiser
 // update, returning the mean cross-entropy loss over the targets. agg is
 // the mean-aggregation operator for this pass (the shared full-graph
-// operator, or a freshly sampled one).
-func (m *Model) step(in Input, agg *sparse.Matrix, visible map[graph.NodeID]int, targets []graph.NodeID, ps []*ml.Param, opt *ml.Adam, epoch int) (float64, error) {
-	acts := m.forward(in, agg, visible)
+// operator, or a freshly sampled one). All matrix scratch comes from the
+// scratch workspace, rewound here so every step reuses the same buffers.
+func (m *Model) step(in Input, agg *sparse.Matrix, scr *sageScratch, ps []*ml.Param, opt *ml.Adam, epoch int) (float64, error) {
+	scr.ws.Reset()
+	acts := m.forward(in, agg, scr.visible, scr.ws, &scr.acts)
 	logits := acts.h[len(acts.h)-1]
 
-	// Cross-entropy gradient on target rows only.
-	grad := mat.New(logits.Rows, logits.Cols)
-	inv := 1 / float64(len(targets))
-	probs := make([]float64, logits.Cols)
-	loss := 0.0
-	for _, ev := range targets {
-		row := logits.Row(int(ev))
-		mat.Softmax(probs, row)
-		loss -= math.Log(probs[in.Labels[ev]] + 1e-300)
-		dst := grad.Row(int(ev))
-		copy(dst, probs)
-		dst[in.Labels[ev]] -= 1
-		for j := range dst {
-			dst[j] *= inv
-		}
-	}
-	loss *= inv
-	m.backward(in, agg, acts, visible, grad)
+	// Cross-entropy loss and gradient on target rows only, fused.
+	grad := scr.ws.Get(logits.Rows, logits.Cols)
+	loss := mat.SoftmaxCrossEntropyInto(grad, logits, scr.targets, in.Labels, scr.probs)
+	m.backward(in, agg, acts, scr.visible, grad, scr)
 	if norm := ml.ClipGrads(ps, m.Config.ClipNorm); math.IsNaN(norm) || math.IsInf(norm, 0) {
 		return loss, &ml.DivergenceError{Quantity: "gradient", Epoch: epoch, Value: norm}
 	}
@@ -348,22 +382,24 @@ func (m *Model) step(in Input, agg *sparse.Matrix, visible map[graph.NodeID]int,
 	return loss, nil
 }
 
-// activations caches the forward pass for backprop.
+// activations caches the forward pass for backprop. The per-layer slices
+// are sized once per fit; the matrices they point at live in the step
+// workspace and are rewound between steps.
 type activations struct {
-	h0     *mat.Matrix   // input after label embedding
-	means  []*mat.Matrix // neighbour means per layer
-	preact []*mat.Matrix // linear outputs per layer (pre-ReLU, pre-norm)
-	masks  []*mat.Matrix // relu masks (nil for final layer)
-	norms  [][]float64   // L2 norms before normalisation (nil for final)
-	h      []*mat.Matrix // layer outputs; h[len-1] = logits
+	h0    *mat.Matrix   // input after label embedding
+	means []*mat.Matrix // neighbour means per layer
+	masks []*mat.Matrix // relu masks (nil for final layer)
+	norms [][]float64   // L2 norms before normalisation (nil for final)
+	h     []*mat.Matrix // layer outputs; h[len-1] = logits
 }
 
 // forward computes all node representations; visible supplies event
-// labels injected as input features.
-func (m *Model) forward(in Input, agg *sparse.Matrix, visible map[graph.NodeID]int) *activations {
+// labels injected as input features. Scratch buffers are borrowed from
+// ws; acts supplies the per-layer slots to fill.
+func (m *Model) forward(in Input, agg *sparse.Matrix, visible map[graph.NodeID]int, ws *mat.Workspace, acts *activations) *activations {
 	n := agg.Rows
-	acts := &activations{}
-	h0 := in.Enc.Clone()
+	h0 := ws.GetDirty(in.Enc.Rows, in.Enc.Cols)
+	mat.CopyInto(h0, in.Enc)
 	for ev, c := range visible {
 		if c >= 0 && c < m.classes {
 			// One-hot label through the embedding layer = row c of the
@@ -377,24 +413,27 @@ func (m *Model) forward(in Input, agg *sparse.Matrix, visible map[graph.NodeID]i
 
 	cur := h0
 	for li, layer := range m.layers {
-		mean := agg.Mul(cur)
-		z := layer.forward(mean)
-		mat.AddInPlace(z, mat.MatMul(cur, m.selfW[li].W))
-		acts.means = append(acts.means, mean)
-		acts.preact = append(acts.preact, z)
+		mean := ws.GetDirty(n, cur.Cols)
+		agg.SpMMInto(mean, cur)
+		z := layer.forwardWS(ws, mean)
+		tmp := ws.GetDirty(n, z.Cols)
+		mat.MatMulInto(tmp, cur, m.selfW[li].W)
+		mat.AddInPlace(z, tmp)
+		acts.means[li] = mean
 		if li == len(m.layers)-1 {
-			acts.masks = append(acts.masks, nil)
-			acts.norms = append(acts.norms, nil)
-			acts.h = append(acts.h, z)
+			acts.masks[li] = nil
+			acts.norms[li] = nil
+			acts.h[li] = z
 			cur = z
 			continue
 		}
-		a, mask := reluForward(z)
+		mask := ws.GetDirty(z.Rows, z.Cols)
+		mat.ReLUMaskInto(z, mask)
 		var norms []float64
 		if !m.Config.NoL2 {
-			norms = make([]float64, n)
+			norms = ws.VecDirty(n)
 			for i := 0; i < n; i++ {
-				row := a.Row(i)
+				row := z.Row(i)
 				nm := mat.Norm2(row)
 				norms[i] = nm
 				if nm > 0 {
@@ -405,17 +444,18 @@ func (m *Model) forward(in Input, agg *sparse.Matrix, visible map[graph.NodeID]i
 				}
 			}
 		}
-		acts.masks = append(acts.masks, mask)
-		acts.norms = append(acts.norms, norms)
-		acts.h = append(acts.h, a)
-		cur = a
+		acts.masks[li] = mask
+		acts.norms[li] = norms
+		acts.h[li] = z
+		cur = z
 	}
 	return acts
 }
 
 // backward propagates grad (w.r.t. the logits) through the network,
 // accumulating parameter gradients.
-func (m *Model) backward(in Input, agg *sparse.Matrix, acts *activations, visible map[graph.NodeID]int, grad *mat.Matrix) {
+func (m *Model) backward(in Input, agg *sparse.Matrix, acts *activations, visible map[graph.NodeID]int, grad *mat.Matrix, scr *sageScratch) {
+	ws := scr.ws
 	layerIn := func(li int) *mat.Matrix {
 		if li == 0 {
 			return acts.h0
@@ -428,8 +468,10 @@ func (m *Model) backward(in Input, agg *sparse.Matrix, acts *activations, visibl
 			if norms := acts.norms[li]; norms != nil {
 				// Through L2 row normalisation: y = x/||x||;
 				// dx = (g - (g.y) y)/||x||, where y is the stored output.
+				// Rows with zero norm stay zero — Get hands out zeroed
+				// buffers, exactly like the fresh matrix this replaced.
 				y := acts.h[li]
-				out := mat.New(g.Rows, g.Cols)
+				out := ws.Get(g.Rows, g.Cols)
 				for i := 0; i < g.Rows; i++ {
 					if norms[i] == 0 {
 						continue
@@ -443,40 +485,101 @@ func (m *Model) backward(in Input, agg *sparse.Matrix, acts *activations, visibl
 				}
 				g = out
 			}
-			g = mat.Hadamard(g, acts.masks[li])
+			mat.HadamardInPlace(g, acts.masks[li])
 		}
 		// Self path: accumulate its weight gradient and input gradient.
-		in := layerIn(li)
-		mat.AddInPlace(m.selfW[li].G, mat.MatMulTransA(in, g))
-		gSelf := mat.MatMulTransB(g, m.selfW[li].W)
+		lin := layerIn(li)
+		tmp := ws.GetDirty(m.selfW[li].G.Rows, m.selfW[li].G.Cols)
+		mat.MatMulTransAInto(tmp, lin, g)
+		mat.AddInPlace(m.selfW[li].G, tmp)
+		gSelf := ws.GetDirty(g.Rows, m.selfW[li].W.Rows)
+		mat.MatMulTransBInto(gSelf, g, m.selfW[li].W)
 		// Aggregation path: backward through the mean is the transpose
 		// kernel (cached inside the operator after the first call).
-		gMean := m.layers[li].backward(acts.means[li], g)
-		g = mat.AddInPlace(agg.MulTrans(gMean), gSelf)
+		gMean := m.layers[li].backwardWS(ws, acts.means[li], g)
+		gNext := ws.GetDirty(agg.Cols, gMean.Cols)
+		agg.SpMMTransInto(gNext, gMean)
+		mat.AddInPlace(gNext, gSelf)
+		g = gNext
 	}
-	// Gradient into the label embedding via visible event rows of h0.
-	// Events sharing a class accumulate into the same gradient row, so the
-	// iteration must be ordered: map-range order varies per run and
-	// float addition is not associative, which would break bit-identical
-	// resume by an ULP.
-	for _, ev := range sortedVisible(visible) {
-		if c := visible[ev]; c >= 0 && c < m.classes {
-			row := g.Row(int(ev))
-			mat.Axpy(1, row, m.labelEmb.w.G.Row(c))
-			mat.Axpy(1, row, m.labelEmb.b.G.Row(0))
+	// Gradient into the label embedding via visible event rows of h0,
+	// sharded per class with a fixed accumulation order (see
+	// labelGradScratch).
+	scr.lg.accumulate(g, visible, m.labelEmb, m.classes)
+}
+
+// labelGradScratch accumulates the label-embedding gradient with
+// per-class shards: visible events are bucketed by class in ascending
+// event-ID order, then each class's chain runs in parallel (classes own
+// disjoint gradient rows, so parallelism cannot change a single bit —
+// the same contract as the row-partitioned kernels). The shared bias row
+// is a single serial chain over all events in the same ascending order
+// the unsharded loop used, because a sum that lands in one row has a
+// defining order that must not depend on worker count.
+type labelGradScratch struct {
+	sorted  []graph.NodeID
+	buckets [][]graph.NodeID
+	// Prebound par.For body plus the operands it reads, so the sharded
+	// accumulation allocates nothing per step (see mat's kargs for the
+	// pattern).
+	g    *mat.Matrix
+	emb  *linear
+	body func(lo, hi int)
+}
+
+// newLabelGradScratch sizes the shard buckets for up to nTrain visible
+// events so steady-state accumulation never grows a slice.
+func newLabelGradScratch(classes, nTrain int) labelGradScratch {
+	lg := labelGradScratch{
+		sorted:  make([]graph.NodeID, 0, nTrain),
+		buckets: make([][]graph.NodeID, classes),
+	}
+	for c := range lg.buckets {
+		lg.buckets[c] = make([]graph.NodeID, 0, nTrain/classes+8)
+	}
+	return lg
+}
+
+// shardBody accumulates the weight-row shards for classes [lo, hi).
+func (lg *labelGradScratch) shardBody(lo, hi int) {
+	for c := lo; c < hi; c++ {
+		wg := lg.emb.w.G.Row(c)
+		for _, ev := range lg.buckets[c] {
+			mat.Axpy(1, lg.g.Row(int(ev)), wg)
 		}
 	}
 }
 
-// sortedVisible returns the visible event IDs in ascending order, pinning
-// the gradient-accumulation order for deterministic training.
-func sortedVisible(visible map[graph.NodeID]int) []graph.NodeID {
-	ids := make([]graph.NodeID, 0, len(visible))
+func (lg *labelGradScratch) accumulate(g *mat.Matrix, visible map[graph.NodeID]int, emb *linear, classes int) {
+	lg.sorted = lg.sorted[:0]
 	for ev := range visible {
-		ids = append(ids, ev)
+		lg.sorted = append(lg.sorted, ev)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	slices.Sort(lg.sorted)
+	for c := range lg.buckets {
+		lg.buckets[c] = lg.buckets[c][:0]
+	}
+	for _, ev := range lg.sorted {
+		if c := visible[ev]; c >= 0 && c < classes {
+			lg.buckets[c] = append(lg.buckets[c], ev)
+		}
+	}
+	// Weight rows: one shard per class, ascending event order within the
+	// shard — bit-identical to the serial interleaved loop this replaces.
+	if lg.body == nil {
+		lg.body = lg.shardBody
+	}
+	lg.g, lg.emb = g, emb
+	par.For(classes, 1, lg.body)
+	// Bias row: all classes share it, so the ascending-event serial chain
+	// is the defining order.
+	bg := emb.b.G.Row(0)
+	for _, ev := range lg.sorted {
+		if c := visible[ev]; c >= 0 && c < classes {
+			mat.Axpy(1, g.Row(int(ev)), bg)
+		}
+	}
+	lg.g, lg.emb = nil, nil
 }
 
 // inputCSR returns the input's shared adjacency CSR, rebuilding it from
@@ -492,7 +595,9 @@ func inputCSR(in Input) *sparse.Matrix {
 // meanOperator builds Eq. 3's neighbour-mean aggregator from the shared
 // CSR snapshot: out[v] = mean of h[n] over neighbours n of v (zero for
 // isolated nodes). Its adjoint — the backward scatter
-// out[n] += g[v]/deg(v) — is the same operator's transpose kernel.
+// out[n] += g[v]/deg(v) — is the same operator's transpose kernel. The
+// operator is cached on the CSR snapshot, so repeated training and
+// prediction calls share one.
 func meanOperator(in Input) *sparse.Matrix {
 	return inputCSR(in).MeanNormalized()
 }
@@ -519,11 +624,47 @@ func sampleAdj(rng *rand.Rand, adj [][]graph.NodeID, k int) [][]graph.NodeID {
 	return out
 }
 
+// forwardInfer is the inference-only forward pass: it runs each layer
+// through the fused normalise+aggregate+transform kernel
+// (sparse.SAGELayerInto), so no neighbour-mean matrix, ReLU mask or norm
+// vector is ever materialised. Logits are bit-identical to the training
+// forward's (asserted by the equivalence tests); the returned matrix
+// lives in ws.
+func (m *Model) forwardInfer(in Input, agg *sparse.Matrix, visible map[graph.NodeID]int, ws *mat.Workspace) *mat.Matrix {
+	n := agg.Rows
+	cur := ws.GetDirty(in.Enc.Rows, in.Enc.Cols)
+	mat.CopyInto(cur, in.Enc)
+	for ev, c := range visible {
+		if c >= 0 && c < m.classes {
+			row := cur.Row(int(ev))
+			mat.Axpy(1, m.labelEmb.w.W.Row(c), row)
+			mat.Axpy(1, m.labelEmb.b.W.Row(0), row)
+		}
+	}
+	for li, layer := range m.layers {
+		next := ws.GetDirty(n, layer.w.W.Cols)
+		agg.SAGELayerInto(next, cur, layer.w.W, m.selfW[li].W, layer.b.W.Row(0))
+		if li < len(m.layers)-1 {
+			for i, v := range next.Data {
+				if v <= 0 {
+					next.Data[i] = 0
+				}
+			}
+			if !m.Config.NoL2 {
+				next.L2NormalizeRows()
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
 // PredictProba returns attribution distributions for the query events,
 // with the given event labels visible as input features.
 func (m *Model) PredictProba(in Input, visible map[graph.NodeID]int, queries []graph.NodeID) *mat.Matrix {
-	acts := m.forward(in, meanOperator(in), visible)
-	logits := acts.h[len(acts.h)-1]
+	ws := mat.NewWorkspace()
+	defer ws.Release()
+	logits := m.forwardInfer(in, meanOperator(in), visible, ws)
 	out := mat.New(len(queries), m.classes)
 	for i, q := range queries {
 		mat.Softmax(out.Row(i), logits.Row(int(q)))
@@ -531,12 +672,17 @@ func (m *Model) PredictProba(in Input, visible map[graph.NodeID]int, queries []g
 	return out
 }
 
-// Predict returns the argmax attribution per query event.
+// Predict returns the argmax attribution per query event. The softmax
+// scratch is pooled: only the returned slice is allocated.
 func (m *Model) Predict(in Input, visible map[graph.NodeID]int, queries []graph.NodeID) []int {
-	probs := m.PredictProba(in, visible, queries)
+	ws := mat.NewWorkspace()
+	defer ws.Release()
+	logits := m.forwardInfer(in, meanOperator(in), visible, ws)
+	probs := ws.VecDirty(m.classes)
 	out := make([]int, len(queries))
-	for i := range out {
-		out[i] = mat.Argmax(probs.Row(i))
+	for i, q := range queries {
+		mat.Softmax(probs, logits.Row(int(q)))
+		out[i] = mat.Argmax(probs)
 	}
 	return out
 }
@@ -544,11 +690,15 @@ func (m *Model) Predict(in Input, visible map[graph.NodeID]int, queries []graph.
 // Confidence returns the max-probability score per query (used by the
 // case study's thresholding discussion).
 func (m *Model) Confidence(in Input, visible map[graph.NodeID]int, queries []graph.NodeID) []float64 {
-	probs := m.PredictProba(in, visible, queries)
+	ws := mat.NewWorkspace()
+	defer ws.Release()
+	logits := m.forwardInfer(in, meanOperator(in), visible, ws)
+	probs := ws.VecDirty(m.classes)
 	out := make([]float64, len(queries))
-	for i := range out {
+	for i, q := range queries {
+		mat.Softmax(probs, logits.Row(int(q)))
 		best := math.Inf(-1)
-		for _, v := range probs.Row(i) {
+		for _, v := range probs {
 			if v > best {
 				best = v
 			}

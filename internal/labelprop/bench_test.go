@@ -1,0 +1,70 @@
+package labelprop
+
+import (
+	"math/rand"
+	"testing"
+
+	"trail/internal/graph"
+	"trail/internal/sparse"
+)
+
+// benchGraph builds a random sparse graph of n nodes / ~2*edges directed
+// entries, seeded so every bench run sees the same structure.
+func benchGraph(n, edges int) *sparse.Matrix {
+	rng := rand.New(rand.NewSource(11))
+	adj := make([][]graph.NodeID, n)
+	for e := 0; e < edges; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		adj[u] = append(adj[u], graph.NodeID(v))
+		adj[v] = append(adj[v], graph.NodeID(u))
+	}
+	return sparse.FromAdj(adj)
+}
+
+// BenchmarkPropagateCSR measures the LP 4L hot path: the repeated
+// SpMM-and-accumulate iteration the eval loop runs per fold and layer
+// count.
+func BenchmarkPropagateCSR(b *testing.B) {
+	const n = 20000
+	csr := benchGraph(n, 60000)
+	seeds := make(map[graph.NodeID]int, 500)
+	rng := rand.New(rand.NewSource(12))
+	for len(seeds) < 500 {
+		seeds[graph.NodeID(rng.Intn(n))] = rng.Intn(22)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := PropagateCSR(csr, seeds, 22, 4)
+		if f.Rows != n {
+			b.Fatal("bad shape")
+		}
+	}
+}
+
+// BenchmarkAttributeCSR measures the end-to-end attribution call used by
+// Table IV (propagate + argmax over queries).
+func BenchmarkAttributeCSR(b *testing.B) {
+	const n = 20000
+	csr := benchGraph(n, 60000)
+	seeds := make(map[graph.NodeID]int, 500)
+	rng := rand.New(rand.NewSource(12))
+	for len(seeds) < 500 {
+		seeds[graph.NodeID(rng.Intn(n))] = rng.Intn(22)
+	}
+	queries := make([]graph.NodeID, 0, 500)
+	for len(queries) < 500 {
+		queries = append(queries, graph.NodeID(rng.Intn(n)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		preds := AttributeCSR(csr, seeds, queries, 22, 4)
+		if len(preds) != len(queries) {
+			b.Fatal("short prediction")
+		}
+	}
+}

@@ -35,24 +35,41 @@ func Propagate(adj [][]graph.NodeID, seeds map[graph.NodeID]int, classes, layers
 
 // PropagateCSR is Propagate over an unweighted adjacency CSR (as
 // returned by graph.Graph.CSR()): each layer is one SpMM against the
-// symmetrically normalised operator D^{-1/2} A D^{-1/2}.
+// symmetrically normalised operator D^{-1/2} A D^{-1/2} (computed once
+// per snapshot — the operator is cached on the CSR).
 func PropagateCSR(a *sparse.Matrix, seeds map[graph.NodeID]int, classes, layers int) *mat.Matrix {
+	acc := mat.New(a.Rows, classes)
+	PropagateCSRInto(acc, a, seeds, classes, layers)
+	return acc
+}
+
+// PropagateCSRInto is PropagateCSR accumulating into a caller-owned
+// dst (a.Rows × classes, overwritten), for sweeps that rerun propagation
+// over one snapshot: the two iteration buffers are borrowed from the
+// shared pool, so repeated calls allocate nothing.
+func PropagateCSRInto(dst *mat.Matrix, a *sparse.Matrix, seeds map[graph.NodeID]int, classes, layers int) {
 	n := a.Rows
+	if dst.Rows != n || dst.Cols != classes {
+		panic("labelprop: PropagateCSRInto dst shape mismatch")
+	}
 	s := a.SymNormalized()
-	f := mat.New(n, classes)
+	// f must start zeroed (seeding writes only the seed entries); next is
+	// fully overwritten by the first SpMM, so it can skip the memset.
+	f := mat.GetBuf(n, classes)
+	next := mat.GetBufDirty(n, classes)
 	for id, c := range seeds {
 		if c >= 0 && c < classes {
 			f.Set(int(id), c, 1)
 		}
 	}
-	acc := mat.New(n, classes)
-	next := mat.New(n, classes)
+	dst.Zero()
 	for l := 0; l < layers; l++ {
 		s.SpMM(next, f)
 		f, next = next, f
-		mat.AddInPlace(acc, f)
+		mat.AddInPlace(dst, f)
 	}
-	return acc
+	mat.PutBuf(f)
+	mat.PutBuf(next)
 }
 
 // Distribution converts a propagation row into a probability
@@ -100,8 +117,13 @@ func Attribute(adj [][]graph.NodeID, seeds map[graph.NodeID]int, queries []graph
 	return Predict(f, queries)
 }
 
-// AttributeCSR is Attribute over a shared CSR snapshot.
+// AttributeCSR is Attribute over a shared CSR snapshot. The propagation
+// accumulator is borrowed from the shared pool: only the returned slice
+// is allocated.
 func AttributeCSR(a *sparse.Matrix, seeds map[graph.NodeID]int, queries []graph.NodeID, classes, layers int) []int {
-	f := PropagateCSR(a, seeds, classes, layers)
-	return Predict(f, queries)
+	f := mat.GetBuf(a.Rows, classes)
+	PropagateCSRInto(f, a, seeds, classes, layers)
+	out := Predict(f, queries)
+	mat.PutBuf(f)
+	return out
 }

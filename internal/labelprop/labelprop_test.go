@@ -9,6 +9,7 @@ import (
 	"trail/internal/graph"
 	"trail/internal/mat"
 	"trail/internal/par"
+	"trail/internal/sparse"
 )
 
 // chain builds a path graph 0-1-2-...-n-1 and returns its adjacency.
@@ -194,6 +195,49 @@ func TestPropagateMatchesReferenceBitIdentical(t *testing.T) {
 				t.Fatalf("workers=%d: PropagateCSR differs from reference at %d: %v vs %v",
 					workers, i, fromCSR.Data[i], want.Data[i])
 			}
+		}
+	}
+}
+
+// TestPropagateCSRIntoMatchesPropagateCSR pins the pooled propagation
+// path: accumulating into a caller-owned (even dirty) dst must equal the
+// allocating PropagateCSR bit for bit, and repeated calls over the same
+// snapshot must be stable.
+func TestPropagateCSRIntoMatchesPropagateCSR(t *testing.T) {
+	adj := chain(12)
+	seeds := map[graph.NodeID]int{0: 0, 11: 1}
+	a := sparse.FromAdj(adj)
+	want := PropagateCSR(a, seeds, 2, 4)
+	dst := mat.New(a.Rows, 2)
+	for rep := 0; rep < 3; rep++ {
+		dst.Fill(math.Inf(-1)) // dst is overwritten, not accumulated into
+		PropagateCSRInto(dst, a, seeds, 2, 4)
+		for i := range want.Data {
+			if math.Float64bits(dst.Data[i]) != math.Float64bits(want.Data[i]) {
+				t.Fatalf("rep %d: Data[%d] = %v, want %v", rep, i, dst.Data[i], want.Data[i])
+			}
+		}
+	}
+	// Shape mismatch fails loudly instead of writing out of bounds.
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on dst shape mismatch")
+		}
+	}()
+	PropagateCSRInto(mat.New(a.Rows-1, 2), a, seeds, 2, 4)
+}
+
+// TestAttributeCSRMatchesAttribute pins the pooled end-to-end path to
+// the allocating one.
+func TestAttributeCSRMatchesAttribute(t *testing.T) {
+	adj := chain(10)
+	seeds := map[graph.NodeID]int{0: 0, 9: 1}
+	queries := []graph.NodeID{2, 5, 7}
+	want := Attribute(adj, seeds, queries, 2, 3)
+	got := AttributeCSR(sparse.FromAdj(adj), seeds, queries, 2, 3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: %d vs %d", i, got[i], want[i])
 		}
 	}
 }

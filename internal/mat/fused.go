@@ -1,0 +1,133 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fused in-place kernels for the training hot loops. Each kernel is the
+// exact composition of the allocating primitives it replaces — same
+// element order, same accumulation grouping — so switching a loop to the
+// fused form changes zero bits of the result (asserted by the
+// equivalence tests in fused_test.go and internal/gnn).
+
+// AddBiasReLUInto applies x = relu(x + bias) in place, adding bias to
+// every row. When mask is non-nil it must have x's shape and receives
+// the ReLU mask (1 where the biased value was positive, 0 elsewhere)
+// for backprop. It fuses AddRowVector + reluForward without the clone.
+func AddBiasReLUInto(x *Matrix, bias []float64, mask *Matrix) {
+	if len(bias) != x.Cols {
+		panic(fmt.Sprintf("mat: AddBiasReLUInto bias length %d != %d", len(bias), x.Cols))
+	}
+	if mask != nil {
+		checkSameShape("AddBiasReLUInto", x, mask)
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		var mrow []float64
+		if mask != nil {
+			mrow = mask.Row(i)
+		}
+		for j, b := range bias {
+			v := row[j] + b
+			if v <= 0 {
+				row[j] = 0
+				if mrow != nil {
+					mrow[j] = 0
+				}
+			} else {
+				row[j] = v
+				if mrow != nil {
+					mrow[j] = 1
+				}
+			}
+		}
+	}
+}
+
+// ReLUMaskInto applies x = relu(x) in place and writes the backprop mask
+// (which must have x's shape) — reluForward without the clone.
+func ReLUMaskInto(x, mask *Matrix) {
+	checkSameShape("ReLUMaskInto", x, mask)
+	for i, v := range x.Data {
+		if v <= 0 {
+			x.Data[i] = 0
+			mask.Data[i] = 0
+		} else {
+			mask.Data[i] = 1
+		}
+	}
+}
+
+// HadamardInPlace multiplies a by b element-wise in place and returns a.
+func HadamardInPlace(a, b *Matrix) *Matrix {
+	checkSameShape("HadamardInPlace", a, b)
+	for i, v := range b.Data {
+		a.Data[i] *= v
+	}
+	return a
+}
+
+// SubInPlace subtracts b from a element-wise in place and returns a.
+func SubInPlace(a, b *Matrix) *Matrix {
+	checkSameShape("SubInPlace", a, b)
+	for i, v := range b.Data {
+		a.Data[i] -= v
+	}
+	return a
+}
+
+// CopyInto copies src into dst (shapes must match) and returns dst.
+func CopyInto(dst, src *Matrix) *Matrix {
+	checkSameShape("CopyInto", dst, src)
+	copy(dst.Data, src.Data)
+	return dst
+}
+
+// SelectRowsInto writes the given rows of m into dst, in order. dst must
+// be len(idx) x m.Cols; indices may repeat.
+func SelectRowsInto(dst, m *Matrix, idx []int) *Matrix {
+	if dst.Rows != len(idx) || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("mat: SelectRowsInto %dx%d for %d rows of width %d",
+			dst.Rows, dst.Cols, len(idx), m.Cols))
+	}
+	for i, r := range idx {
+		copy(dst.Row(i), m.Row(r))
+	}
+	return dst
+}
+
+// SoftmaxCrossEntropyInto computes the masked softmax cross-entropy loss
+// and gradient of the attribution trainers in one pass: for each listed
+// row r (typically target event node IDs) with true class labels[r], it
+// writes (softmax(logits[r]) - onehot(labels[r])) / len(rows) into
+// grad[r] and accumulates -log p[labels[r]]. Rows not listed are left
+// untouched (the caller supplies a zeroed grad). probs is a
+// len == logits.Cols scratch slice. Returns the mean loss over rows.
+//
+// The arithmetic — softmax, the 1e-300 log floor, the copy-subtract-
+// scale gradient order — is exactly the loop it replaces in the SAGE and
+// GCN step functions, preserving bit-identical training.
+func SoftmaxCrossEntropyInto[T ~int | ~int32](grad, logits *Matrix, rows []T, labels []int, probs []float64) float64 {
+	checkSameShape("SoftmaxCrossEntropyInto", grad, logits)
+	if len(probs) != logits.Cols {
+		panic(fmt.Sprintf("mat: SoftmaxCrossEntropyInto probs length %d != %d", len(probs), logits.Cols))
+	}
+	if len(rows) == 0 {
+		return 0
+	}
+	inv := 1 / float64(len(rows))
+	loss := 0.0
+	for _, r := range rows {
+		Softmax(probs, logits.Row(int(r)))
+		label := labels[int(r)]
+		loss -= math.Log(probs[label] + 1e-300)
+		dst := grad.Row(int(r))
+		copy(dst, probs)
+		dst[label] -= 1
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return loss * inv
+}

@@ -117,9 +117,7 @@ func (m *Matrix) Clone() *Matrix {
 
 // Zero resets every element to 0 in place.
 func (m *Matrix) Zero() {
-	for i := range m.Data {
-		m.Data[i] = 0
-	}
+	clear(m.Data)
 }
 
 // Fill sets every element to v in place.
@@ -160,69 +158,53 @@ func MatMulInto(dst, a, b *Matrix) {
 	}
 	// ikj loop order: streams through b and dst rows sequentially, which is
 	// substantially faster than the naive ijk order for row-major data.
-	parRows(a.Rows, a.Cols*b.Cols, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for j := range drow {
-				drow[j] = 0
-			}
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
-			}
-		}
-	})
+	// The block body lives on a pooled carrier (see kargs) so repeated
+	// calls allocate nothing.
+	k := getKargs(dst, a, b)
+	parRows(a.Rows, a.Cols*b.Cols, k.mm)
+	k.put()
 }
 
 // MatMulTransB returns a * bᵀ without materialising the transpose.
 func MatMulTransB(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: MatMulTransB %dx%d * (%dx%d)T", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
 	out := New(a.Rows, b.Rows)
-	parRows(a.Rows, b.Rows*b.Cols, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				orow[j] = Dot(arow, b.Row(j))
-			}
-		}
-	})
+	MatMulTransBInto(out, a, b)
 	return out
+}
+
+// MatMulTransBInto computes dst = a * bᵀ without materialising the
+// transpose, reusing dst's storage. dst must be a.Rows x b.Rows and must
+// not alias a or b.
+func MatMulTransBInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MatMulTransBInto %dx%d = %dx%d * (%dx%d)T",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	k := getKargs(dst, a, b)
+	parRows(a.Rows, b.Rows*b.Cols, k.tb)
+	k.put()
 }
 
 // MatMulTransA returns aᵀ * b without materialising the transpose.
 func MatMulTransA(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("mat: MatMulTransA (%dx%d)T * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
 	out := New(a.Cols, b.Cols)
+	MatMulTransAInto(out, a, b)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ * b without materialising the
+// transpose, reusing dst's storage (any prior contents are overwritten).
+// dst must be a.Cols x b.Cols and must not alias a or b.
+func MatMulTransAInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MatMulTransAInto %dx%d = (%dx%d)T * %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
 	// Blocks own output rows i (columns of a); the k-accumulation order
 	// per output element matches the serial loop exactly.
-	parRows(a.Cols, a.Rows*b.Cols, func(lo, hi int) {
-		for k := 0; k < a.Rows; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				orow := out.Row(i)
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	})
-	return out
+	k := getKargs(dst, a, b)
+	parRows(a.Cols, a.Rows*b.Cols, k.ta)
+	k.put()
 }
 
 // Add returns a+b element-wise.

@@ -1,0 +1,235 @@
+package mat
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements the memory-discipline layer of DESIGN.md §3e: a
+// shape-keyed pool of Matrix buffers plus a scoped Workspace arena, so the
+// training and inference hot loops run allocation-free in steady state.
+//
+// Ownership rules:
+//
+//   - A matrix obtained from Get/GetBuf is owned by the caller until it is
+//     returned with Put/PutBuf. Returning it transfers ownership back to
+//     the pool; using (or re-Putting) it afterwards is a bug, and Put
+//     panics on a detectable double-Put.
+//   - Matrices handed out by Get are always fully zeroed, exactly like
+//     New, so a pooled kernel and an allocating kernel see identical
+//     inputs. GetDirty skips the zeroing and may return arbitrary stale
+//     contents; it is only for buffers whose first consumer fully
+//     overwrites every element (CopyInto, SelectRowsInto, MatMul*Into,
+//     SpMM*Into, SAGELayerInto, AddBiasReLUInto/ReLUMaskInto masks).
+//     Accumulating consumers (SoftmaxCrossEntropyInto, the L2-backward
+//     loop) must keep using Get.
+//   - A Workspace is single-goroutine. Distinct goroutines must use
+//     distinct Workspaces (the backing Pool is safe for concurrent use).
+
+// Pool is a shape-keyed free list of Matrix buffers. The zero value is
+// not usable; use NewPool. All methods are safe for concurrent use.
+type Pool struct {
+	mu   sync.Mutex
+	free map[int64][]*Matrix
+	// pooled tracks matrices currently sitting in the free lists so a
+	// double-Put fails loudly instead of handing one buffer to two owners.
+	pooled map[*Matrix]struct{}
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[int64][]*Matrix), pooled: make(map[*Matrix]struct{})}
+}
+
+func shapeKey(rows, cols int) int64 { return int64(rows)<<32 | int64(uint32(cols)) }
+
+// Get returns a zeroed rows x cols matrix, reusing a previously Put
+// buffer of the same shape when one is available.
+func (p *Pool) Get(rows, cols int) *Matrix { return p.get(rows, cols, true) }
+
+// GetDirty is Get without the zeroing: the returned matrix may hold
+// arbitrary stale values. Use only when the first consumer overwrites
+// every element (see the ownership rules above).
+func (p *Pool) GetDirty(rows, cols int) *Matrix { return p.get(rows, cols, false) }
+
+func (p *Pool) get(rows, cols int, zero bool) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: Pool.Get negative dimension %dx%d", rows, cols))
+	}
+	key := shapeKey(rows, cols)
+	p.mu.Lock()
+	if list := p.free[key]; len(list) > 0 {
+		m := list[len(list)-1]
+		p.free[key] = list[:len(list)-1]
+		delete(p.pooled, m)
+		p.mu.Unlock()
+		if zero {
+			m.Zero()
+		}
+		return m
+	}
+	p.mu.Unlock()
+	return New(rows, cols)
+}
+
+// Put returns m to the pool. It panics on a shape-inconsistent matrix
+// (len(Data) != Rows*Cols — e.g. a reshaped view of someone else's
+// storage) and on a double-Put of the same buffer. Put(nil) and empty
+// matrices are no-ops.
+func (p *Pool) Put(m *Matrix) {
+	if m == nil || m.Rows*m.Cols == 0 {
+		return
+	}
+	if len(m.Data) != m.Rows*m.Cols {
+		panic(fmt.Sprintf("mat: Pool.Put shape mismatch: %dx%d with %d elements",
+			m.Rows, m.Cols, len(m.Data)))
+	}
+	key := shapeKey(m.Rows, m.Cols)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.pooled[m]; ok {
+		panic(fmt.Sprintf("mat: Pool.Put double-Put of %dx%d buffer", m.Rows, m.Cols))
+	}
+	p.pooled[m] = struct{}{}
+	p.free[key] = append(p.free[key], m)
+}
+
+// sharedPool backs the package-level GetBuf/PutBuf and every Workspace
+// created with NewWorkspace.
+var sharedPool = NewPool()
+
+// GetBuf borrows a zeroed rows x cols matrix from the shared pool.
+func GetBuf(rows, cols int) *Matrix { return sharedPool.Get(rows, cols) }
+
+// GetBufDirty borrows an unzeroed matrix from the shared pool; the first
+// consumer must overwrite every element.
+func GetBufDirty(rows, cols int) *Matrix { return sharedPool.GetDirty(rows, cols) }
+
+// PutBuf returns a GetBuf matrix to the shared pool.
+func PutBuf(m *Matrix) { sharedPool.Put(m) }
+
+// Workspace is a scoped scratch arena for hot loops that request the
+// same sequence of buffer shapes on every iteration (an epoch, a batch,
+// a propagation step). Get hands out zeroed buffers; Reset rewinds the
+// cursor so the next iteration re-borrows the same buffers in order;
+// Release returns everything to the backing pool.
+//
+// A Workspace is NOT safe for concurrent use — it is the per-goroutine
+// half of the design, with the concurrent Pool underneath.
+type Workspace struct {
+	pool        *Pool // nil in allocating (reference) mode
+	mats        []*Matrix
+	vecs        [][]float64
+	next, vnext int
+}
+
+// NewWorkspace returns a Workspace backed by the shared pool.
+func NewWorkspace() *Workspace { return &Workspace{pool: sharedPool} }
+
+// NewWorkspaceOn returns a Workspace backed by a specific pool.
+func NewWorkspaceOn(p *Pool) *Workspace { return &Workspace{pool: p} }
+
+// NewAllocWorkspace returns a Workspace whose Get always allocates a
+// fresh matrix — the allocation behaviour of the pre-pool code paths. It
+// exists so equivalence tests can run one training loop pooled and one
+// allocating and assert bit-identical results; Release and Reset drop
+// all references for the GC.
+func NewAllocWorkspace() *Workspace { return &Workspace{} }
+
+// Get returns a zeroed rows x cols matrix valid until the next Reset or
+// Release. Buffers are matched to call sites by cursor position, so a
+// loop that issues the same Get sequence every iteration reuses the same
+// storage with zero allocation.
+func (w *Workspace) Get(rows, cols int) *Matrix { return w.get(rows, cols, true) }
+
+// GetDirty is Get without the zeroing — the memset is the dominant cost
+// of re-borrowing a large buffer, and most kernels overwrite their
+// destination entirely. The returned matrix may hold stale contents from
+// an earlier borrow; use only when the first consumer writes every
+// element. In allocating reference mode it returns a fresh (zeroed)
+// matrix, which is indistinguishable to a full-overwrite consumer, so
+// pooled-vs-allocating equivalence is preserved.
+func (w *Workspace) GetDirty(rows, cols int) *Matrix { return w.get(rows, cols, false) }
+
+func (w *Workspace) get(rows, cols int, zero bool) *Matrix {
+	if w.pool == nil { // allocating reference mode
+		m := New(rows, cols)
+		w.mats = append(w.mats, m)
+		w.next = len(w.mats)
+		return m
+	}
+	n := rows * cols
+	if w.next < len(w.mats) {
+		m := w.mats[w.next]
+		if cap(m.Data) >= n {
+			w.next++
+			m.Rows, m.Cols = rows, cols
+			m.Data = m.Data[:n]
+			if zero {
+				m.Zero()
+			}
+			return m
+		}
+		// Shape grew past this slot's capacity: retire the old buffer and
+		// take a fitting one.
+		w.pool.Put(m)
+		m = w.pool.get(rows, cols, zero)
+		w.mats[w.next] = m
+		w.next++
+		return m
+	}
+	m := w.pool.get(rows, cols, zero)
+	w.mats = append(w.mats, m)
+	w.next = len(w.mats)
+	return m
+}
+
+// Vec returns a zeroed length-n scratch slice under the same cursor
+// discipline as Get.
+func (w *Workspace) Vec(n int) []float64 { return w.vec(n, true) }
+
+// VecDirty is Vec without the zeroing, for slices whose first consumer
+// writes every element.
+func (w *Workspace) VecDirty(n int) []float64 { return w.vec(n, false) }
+
+func (w *Workspace) vec(n int, zero bool) []float64 {
+	if w.vnext < len(w.vecs) && cap(w.vecs[w.vnext]) >= n && w.pool != nil {
+		v := w.vecs[w.vnext][:n]
+		w.vnext++
+		if zero {
+			clear(v)
+		}
+		return v
+	}
+	v := make([]float64, n)
+	if w.vnext < len(w.vecs) {
+		w.vecs[w.vnext] = v
+	} else {
+		w.vecs = append(w.vecs, v)
+	}
+	w.vnext++
+	return v
+}
+
+// Reset rewinds the cursors: buffers handed out so far may be re-borrowed
+// by subsequent Gets (in the same order) and must no longer be used under
+// their old references. In allocating mode it instead drops all
+// references so every Get stays fresh.
+func (w *Workspace) Reset() {
+	if w.pool == nil {
+		w.mats, w.vecs = nil, nil
+	}
+	w.next, w.vnext = 0, 0
+}
+
+// Release returns every buffer to the backing pool and empties the
+// workspace, which remains usable afterwards.
+func (w *Workspace) Release() {
+	if w.pool != nil {
+		for _, m := range w.mats {
+			w.pool.Put(m)
+		}
+	}
+	w.mats, w.vecs = nil, nil
+	w.next, w.vnext = 0, 0
+}

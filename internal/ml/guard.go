@@ -49,6 +49,10 @@ func CheckGrads(epoch int, params []*Param) error {
 }
 
 // GradNorm returns the global L2 norm over every accumulated gradient.
+// The sum of squares is one serial chain in parameter-then-element order:
+// that chain is the defining grouping ClipGrads scales by, so it must not
+// depend on worker count, and at a few tens of thousands of elements per
+// step it is noise next to the matmuls it guards. It allocates nothing.
 func GradNorm(params []*Param) float64 {
 	sum := 0.0
 	for _, p := range params {
@@ -84,6 +88,25 @@ func CloneParams(params []*Param) []*mat.Matrix {
 		out[i] = p.W.Clone()
 	}
 	return out
+}
+
+// CopyParams copies parameter weights into an existing snapshot taken
+// with CloneParams, reusing its storage — the allocation-free refresh of
+// the best-checkpoint snapshot in the training loops. Shapes must match.
+func CopyParams(snap []*mat.Matrix, params []*Param) error {
+	if len(snap) != len(params) {
+		return fmt.Errorf("ml: CopyParams: %d snapshots for %d params", len(snap), len(params))
+	}
+	for i, p := range params {
+		if snap[i].Rows != p.W.Rows || snap[i].Cols != p.W.Cols {
+			return fmt.Errorf("ml: CopyParams: param %d is %dx%d, snapshot is %dx%d",
+				i, p.W.Rows, p.W.Cols, snap[i].Rows, snap[i].Cols)
+		}
+	}
+	for i, p := range params {
+		copy(snap[i].Data, p.W.Data)
+	}
+	return nil
 }
 
 // RestoreParams copies snapshot weights back into params and zeroes the

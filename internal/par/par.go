@@ -58,7 +58,10 @@ func SetWorkers(n int) (prev int) {
 }
 
 // job is one For invocation: a fixed block partition drained through an
-// atomic cursor by the caller and any recruited helpers.
+// atomic cursor by the caller and any recruited helpers. Jobs are pooled
+// (see jobPool): a training step issues tens of For calls, and without
+// reuse each would allocate a fresh job — the last steady-state
+// allocation in the hot loops.
 type job struct {
 	fn     func(lo, hi int)
 	n      int
@@ -66,6 +69,21 @@ type job struct {
 	blocks int
 	next   atomic.Int64
 	wg     sync.WaitGroup // one count per block
+	// refs counts goroutines that may still touch this job: the caller
+	// plus every recruited helper. The goroutine that drops refs to zero
+	// returns the job to the pool; until then reuse would race on fn.
+	refs atomic.Int32
+}
+
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+// release drops n references; the final holder clears and recycles the
+// job. fn is cleared so the pool does not pin the caller's closure.
+func (j *job) release(n int32) {
+	if j.refs.Add(-n) == 0 {
+		j.fn = nil
+		jobPool.Put(j)
+	}
 }
 
 // run drains blocks until the cursor passes the end. Each block is
@@ -86,6 +104,13 @@ func (j *job) run() {
 	}
 }
 
+// runHelper is the worker-side entry: drain, then drop the helper's
+// reference.
+func (j *job) runHelper() {
+	j.run()
+	j.release(1)
+}
+
 // ensurePool starts the persistent workers on first use. The pool holds
 // GOMAXPROCS-1 goroutines; the caller of For is always the final worker.
 func ensurePool() {
@@ -98,7 +123,7 @@ func ensurePool() {
 		for i := 0; i < n; i++ {
 			go func() {
 				for j := range jobs {
-					j.run()
+					j.runHelper()
 				}
 			}()
 		}
@@ -136,17 +161,25 @@ func For(n, grain int, fn func(lo, hi int)) {
 		}
 		return
 	}
-	j := &job{fn: fn, n: n, grain: grain, blocks: blocks}
+	j := jobPool.Get().(*job)
+	j.fn, j.n, j.grain, j.blocks = fn, n, grain, blocks
+	j.next.Store(0)
 	j.wg.Add(blocks)
 	helpers := w - 1
 	if blocks-1 < helpers {
 		helpers = blocks - 1
 	}
+	// Reserve a reference per potential helper (plus the caller's own)
+	// BEFORE publishing the job: a recruited worker may finish and release
+	// its reference before this goroutine reaches the next statement.
+	j.refs.Store(int32(helpers) + 1)
 	ensurePool()
+	recruited := 0
 recruit:
 	for h := 0; h < helpers; h++ {
 		select {
 		case jobs <- j:
+			recruited++
 		default:
 			// All workers are busy; stop recruiting — the caller
 			// executes whatever is left.
@@ -155,4 +188,7 @@ recruit:
 	}
 	j.run()
 	j.wg.Wait()
+	// Drop the caller's reference plus one per helper that was never
+	// recruited. The job must not be touched past this point.
+	j.release(1 + int32(helpers-recruited))
 }

@@ -1,0 +1,73 @@
+package par
+
+// ReduceBlocks is the deterministic parallel reduction companion to For:
+// it splits [0, n) into the same fixed blocks as For(n, grain, ...),
+// computes one partial value per block with leaf (in parallel, each leaf
+// scanning its block serially), and folds the partials with merge in a
+// fixed pairwise tree over ascending block order:
+//
+//	((p0 ⊕ p1) ⊕ (p2 ⊕ p3)) ⊕ ((p4 ⊕ p5) ⊕ ...)
+//
+// The tree shape depends only on (n, grain) — never on worker count or
+// scheduling — so for non-associative float accumulation the grouping,
+// and therefore every output bit, is identical between serial and
+// parallel runs. This is the contract gradient-accumulation kernels need
+// when they move from one long serial chain to per-worker shards: the
+// tree IS the definition of the sum, not an approximation of the chain
+// (see DESIGN.md §3e for when a kernel may adopt it).
+//
+// leaf must not panic; merge runs on the calling goroutine only. For
+// n <= 0, ReduceBlocks returns the zero value of S.
+func ReduceBlocks[S any](n, grain int, leaf func(lo, hi int) S, merge func(a, b S) S) S {
+	var zero S
+	if n <= 0 {
+		return zero
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	blocks := (n + grain - 1) / grain
+	partials := make([]S, blocks)
+	For(blocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo := b * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			partials[b] = leaf(lo, hi)
+		}
+	})
+	return treeFold(partials, merge)
+}
+
+// TreeFold folds partials with merge in the same fixed pairwise tree
+// ReduceBlocks uses — adjacent pairs first, then pairs of pairs, always
+// in ascending index order. It overwrites partials as scratch. Exposed
+// for callers that manage their own partials buffer (e.g. a pooled one)
+// but must reduce with a grouping bit-identical to ReduceBlocks's.
+// An empty partials yields the zero value of S.
+func TreeFold[S any](partials []S, merge func(a, b S) S) S {
+	if len(partials) == 0 {
+		var zero S
+		return zero
+	}
+	return treeFold(partials, merge)
+}
+
+// treeFold folds partials pairwise: adjacent pairs first, then pairs of
+// pairs, always in ascending index order. len(partials) must be > 0.
+func treeFold[S any](partials []S, merge func(a, b S) S) S {
+	for len(partials) > 1 {
+		half := (len(partials) + 1) / 2
+		for i := 0; i < half; i++ {
+			if 2*i+1 < len(partials) {
+				partials[i] = merge(partials[2*i], partials[2*i+1])
+			} else {
+				partials[i] = partials[2*i]
+			}
+		}
+		partials = partials[:half]
+	}
+	return partials[0]
+}

@@ -1,0 +1,86 @@
+package par
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TreeFold's grouping is part of the numeric contract: ClipGrads-style
+// consumers scale by the folded value, so the grouping must be a pure
+// function of len(partials) — never of worker count or timing.
+
+func TestTreeFoldSmallCases(t *testing.T) {
+	add := func(a, b int) int { return a + b }
+	if got := TreeFold([]int{}, add); got != 0 {
+		t.Fatalf("empty fold = %d, want zero value", got)
+	}
+	if got := TreeFold([]int{7}, add); got != 7 {
+		t.Fatalf("single fold = %d", got)
+	}
+	if got := TreeFold([]int{1, 2, 3, 4, 5}, add); got != 15 {
+		t.Fatalf("odd-length fold = %d", got)
+	}
+}
+
+func TestTreeFoldMatchesExplicitPairwiseTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 3, 7, 8, 13} {
+		parts := make([]float64, n)
+		for i := range parts {
+			parts[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(6)-3))
+		}
+		// Explicit fixed pairwise tree: halve by adjacent pairs until one
+		// value remains.
+		ref := append([]float64(nil), parts...)
+		for len(ref) > 1 {
+			var next []float64
+			for i := 0; i+1 < len(ref); i += 2 {
+				next = append(next, ref[i]+ref[i+1])
+			}
+			if len(ref)%2 == 1 {
+				next = append(next, ref[len(ref)-1])
+			}
+			ref = next
+		}
+		got := TreeFold(parts, func(a, b float64) float64 { return a + b })
+		if math.Float64bits(got) != math.Float64bits(ref[0]) {
+			t.Fatalf("n=%d: TreeFold = %v, explicit tree = %v", n, got, ref[0])
+		}
+	}
+}
+
+func TestReduceBlocksEqualsTreeFoldOfLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 997)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	leaf := func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += vals[i] * vals[i]
+		}
+		return s
+	}
+	merge := func(a, b float64) float64 { return a + b }
+	grain := 64
+	// Partition exactly as For/ReduceBlocks do: fixed blocks of `grain`.
+	var parts []float64
+	for lo := 0; lo < len(vals); lo += grain {
+		hi := lo + grain
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		parts = append(parts, leaf(lo, hi))
+	}
+	want := TreeFold(parts, merge)
+	for _, workers := range []int{1, 3, 8} {
+		prev := SetWorkers(workers)
+		got := ReduceBlocks(len(vals), grain, leaf, merge)
+		SetWorkers(prev)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("workers=%d: ReduceBlocks = %v, want %v", workers, got, want)
+		}
+	}
+}

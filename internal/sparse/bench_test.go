@@ -1,0 +1,73 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"trail/internal/mat"
+)
+
+// Micro-benchmarks for the CSR kernels: SpMMInto and the fused SAGE
+// layer must report 0 allocs/op in steady state.
+
+func benchOperator(b *testing.B, n, edges int) *Matrix {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	return FromAdj(randAdj(rng, n, edges)).MeanNormalized()
+}
+
+func BenchmarkSpMMInto(b *testing.B) {
+	b.ReportAllocs()
+	s := benchOperator(b, 5000, 20000)
+	rng := rand.New(rand.NewSource(10))
+	x := randFeatures(rng, 5000, 64)
+	dst := mat.New(5000, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SpMMInto(dst, x)
+	}
+}
+
+func BenchmarkSpMMTransInto(b *testing.B) {
+	b.ReportAllocs()
+	s := benchOperator(b, 5000, 20000)
+	rng := rand.New(rand.NewSource(11))
+	x := randFeatures(rng, 5000, 64)
+	dst := mat.New(5000, 64)
+	s.SpMMTransInto(dst, x) // build the cached transpose outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SpMMTransInto(dst, x)
+	}
+}
+
+func BenchmarkSAGELayerInto(b *testing.B) {
+	b.ReportAllocs()
+	s := benchOperator(b, 5000, 20000)
+	rng := rand.New(rand.NewSource(12))
+	x := randFeatures(rng, 5000, 64)
+	wMean := randFeatures(rng, 64, 64)
+	wSelf := randFeatures(rng, 64, 64)
+	bias := make([]float64, 64)
+	dst := mat.New(5000, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SAGELayerInto(dst, x, wMean, wSelf, bias)
+	}
+}
+
+// BenchmarkSAGELayerComposed is the three-kernel path SAGELayerInto
+// replaces, for the fused-vs-composed comparison in EXPERIMENTS.md.
+func BenchmarkSAGELayerComposed(b *testing.B) {
+	b.ReportAllocs()
+	s := benchOperator(b, 5000, 20000)
+	rng := rand.New(rand.NewSource(12))
+	x := randFeatures(rng, 5000, 64)
+	wMean := randFeatures(rng, 64, 64)
+	wSelf := randFeatures(rng, 64, 64)
+	bias := make([]float64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = composedSAGELayer(s, x, wMean, wSelf, bias)
+	}
+}

@@ -1,0 +1,60 @@
+package sparse
+
+import (
+	"sync"
+
+	"trail/internal/mat"
+)
+
+// sargs is the pooled argument carrier for the parallel CSR kernels,
+// mirroring internal/mat's kargs: the block body a par.For call needs is
+// a method value bound once at pool construction instead of a per-call
+// closure, so steady-state SpMM calls allocate nothing. The body code is
+// exactly the closure it replaces; the determinism contract (per-row
+// accumulation in CSR entry order within row-partitioned blocks) is
+// unchanged.
+type sargs struct {
+	s        *Matrix
+	dst, x   *mat.Matrix
+	spmmBody func(lo, hi int)
+}
+
+var sargsPool = sync.Pool{New: func() any {
+	j := &sargs{}
+	j.spmmBody = j.spmm
+	return j
+}}
+
+func getSargs(s *Matrix, dst, x *mat.Matrix) *sargs {
+	j := sargsPool.Get().(*sargs)
+	j.s, j.dst, j.x = s, dst, x
+	return j
+}
+
+func (j *sargs) put() {
+	j.s, j.dst, j.x = nil, nil, nil
+	sargsPool.Put(j)
+}
+
+// spmm is the SpMMInto block body: per output row, accumulate CSR
+// entries in order, then apply RowScale. The carrier fields are hoisted
+// into locals so the hot loops keep them in registers (see mat's kargs).
+func (j *sargs) spmm(lo, hi int) {
+	s, x, dst := j.s, j.x, j.dst
+	for i := lo; i < hi; i++ {
+		drow := dst.Row(i)
+		for c := range drow {
+			drow[c] = 0
+		}
+		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			mat.Axpy(s.Val[k], x.Row(int(s.ColIdx[k])), drow)
+		}
+		if s.RowScale != nil {
+			if sc := s.RowScale[i]; sc != 1 {
+				for c := range drow {
+					drow[c] *= sc
+				}
+			}
+		}
+	}
+}

@@ -45,6 +45,14 @@ type Matrix struct {
 
 	tOnce sync.Once
 	t     *Matrix // cached transpose, built on first SpMMTrans/MulTrans
+
+	// Normalisation caches: matrices are immutable once constructed and
+	// the normalised variants are pure functions of the receiver, so the
+	// repeated-evaluation loops (label-propagation folds, per-epoch GNN
+	// operators) can share one result instead of re-deriving value
+	// arrays on every call.
+	symOnce, loopOnce, meanOnce sync.Once
+	symN, loopN, meanN          *Matrix
 }
 
 // New wraps raw CSR arrays without copying; the caller must not mutate
@@ -138,17 +146,22 @@ func (s *Matrix) WithValues(val, rowScale []float64) *Matrix {
 // SymNormalized returns D^{-1/2} S D^{-1/2}: entry (i,j) becomes
 // Val * (1/sqrt(rowsum_i) * 1/sqrt(rowsum_j)), the label-propagation
 // operator of Eq. 1 (Zhou et al. 2003). Rows with zero sum keep zero
-// weight. The receiver must be square and must not use RowScale.
+// weight. The receiver must be square and must not use RowScale. The
+// result is computed once per receiver and shared by later calls (it is
+// immutable, like every constructed Matrix).
 func (s *Matrix) SymNormalized() *Matrix {
 	s.mustSquarePlain("SymNormalized")
-	invSqrt := s.invSqrtRowSums(0)
-	val := make([]float64, s.NNZ())
-	for i := 0; i < s.Rows; i++ {
-		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
-			val[k] = s.Val[k] * (invSqrt[i] * invSqrt[int(s.ColIdx[k])])
+	s.symOnce.Do(func() {
+		invSqrt := s.invSqrtRowSums(0)
+		val := make([]float64, s.NNZ())
+		for i := 0; i < s.Rows; i++ {
+			for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+				val[k] = s.Val[k] * (invSqrt[i] * invSqrt[int(s.ColIdx[k])])
+			}
 		}
-	}
-	return &Matrix{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: val}
+		s.symN = &Matrix{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: val}
+	})
+	return s.symN
 }
 
 // SymNormalizedWithSelfLoops returns the GCN operator of Eq. 2,
@@ -160,29 +173,35 @@ func (s *Matrix) SymNormalized() *Matrix {
 // diagonal entries.
 func (s *Matrix) SymNormalizedWithSelfLoops() *Matrix {
 	s.mustSquarePlain("SymNormalizedWithSelfLoops")
-	invSqrt := s.invSqrtRowSums(1)
-	n := s.Rows
-	rowPtr := make([]int, n+1)
-	colIdx := make([]int32, s.NNZ()+n)
-	val := make([]float64, s.NNZ()+n)
-	k := 0
-	for i := 0; i < n; i++ {
-		rowPtr[i] = k
-		colIdx[k] = int32(i)
-		val[k] = invSqrt[i] * invSqrt[i]
-		k++
-		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
-			j := s.ColIdx[p]
-			if int(j) == i {
-				panic("sparse: SymNormalizedWithSelfLoops on matrix with existing diagonal entries")
-			}
-			colIdx[k] = j
-			val[k] = s.Val[p] * (invSqrt[i] * invSqrt[j])
+	s.loopOnce.Do(func() {
+		invSqrt := s.invSqrtRowSums(1)
+		n := s.Rows
+		rowPtr := make([]int, n+1)
+		colIdx := make([]int32, s.NNZ()+n)
+		val := make([]float64, s.NNZ()+n)
+		k := 0
+		for i := 0; i < n; i++ {
+			rowPtr[i] = k
+			colIdx[k] = int32(i)
+			val[k] = invSqrt[i] * invSqrt[i]
 			k++
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				j := s.ColIdx[p]
+				if int(j) == i {
+					panic("sparse: SymNormalizedWithSelfLoops on matrix with existing diagonal entries")
+				}
+				colIdx[k] = j
+				val[k] = s.Val[p] * (invSqrt[i] * invSqrt[j])
+				k++
+			}
 		}
+		rowPtr[n] = k
+		s.loopN = &Matrix{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	})
+	if s.loopN == nil {
+		panic("sparse: SymNormalizedWithSelfLoops on matrix with existing diagonal entries")
 	}
-	rowPtr[n] = k
-	return &Matrix{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	return s.loopN
 }
 
 // MeanNormalized returns the mean aggregator of Eq. 3: row i averages
@@ -194,17 +213,20 @@ func (s *Matrix) MeanNormalized() *Matrix {
 	if s.RowScale != nil {
 		panic("sparse: MeanNormalized on already row-scaled matrix")
 	}
-	scale := make([]float64, s.Rows)
-	for i := 0; i < s.Rows; i++ {
-		sum := 0.0
-		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
-			sum += s.Val[k]
+	s.meanOnce.Do(func() {
+		scale := make([]float64, s.Rows)
+		for i := 0; i < s.Rows; i++ {
+			sum := 0.0
+			for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+				sum += s.Val[k]
+			}
+			if sum > 0 {
+				scale[i] = 1 / sum
+			}
 		}
-		if sum > 0 {
-			scale[i] = 1 / sum
-		}
-	}
-	return &Matrix{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: s.Val, RowScale: scale}
+		s.meanN = &Matrix{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: s.Val, RowScale: scale}
+	})
+	return s.meanN
 }
 
 // invSqrtRowSums returns 1/sqrt(rowsum+shift) per row (0 for rows whose
@@ -287,11 +309,15 @@ const (
 	grainFlops  = 1 << 14
 )
 
-// SpMM computes dst = s·x, overwriting dst. dst must be s.Rows × x.Cols
-// with x s.Cols rows, and must not alias x. Each output row accumulates
-// its entries in CSR order, then applies RowScale, so results are
-// bit-identical at any parallelism level.
-func (s *Matrix) SpMM(dst, x *mat.Matrix) {
+// SpMM computes dst = s·x, overwriting dst; it is SpMMInto under the
+// historical name.
+func (s *Matrix) SpMM(dst, x *mat.Matrix) { s.SpMMInto(dst, x) }
+
+// SpMMInto computes dst = s·x, overwriting dst. dst must be s.Rows ×
+// x.Cols with x s.Cols rows, and must not alias x. Each output row
+// accumulates its entries in CSR order, then applies RowScale, so
+// results are bit-identical at any parallelism level.
+func (s *Matrix) SpMMInto(dst, x *mat.Matrix) {
 	if s.Cols != x.Rows || dst.Rows != s.Rows || dst.Cols != x.Cols {
 		panic(fmt.Sprintf("sparse: SpMM %dx%d = %dx%d * %dx%d",
 			dst.Rows, dst.Cols, s.Rows, s.Cols, x.Rows, x.Cols))
@@ -299,43 +325,32 @@ func (s *Matrix) SpMM(dst, x *mat.Matrix) {
 	if dst == x || (len(dst.Data) > 0 && len(x.Data) > 0 && &dst.Data[0] == &x.Data[0]) {
 		panic("sparse: SpMM dst must not alias x")
 	}
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			drow := dst.Row(i)
-			for j := range drow {
-				drow[j] = 0
-			}
-			for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
-				mat.Axpy(s.Val[k], x.Row(int(s.ColIdx[k])), drow)
-			}
-			if s.RowScale != nil {
-				if sc := s.RowScale[i]; sc != 1 {
-					for j := range drow {
-						drow[j] *= sc
-					}
-				}
-			}
-		}
-	}
+	// The block body lives on a pooled carrier (see sargs) so repeated
+	// calls allocate nothing.
+	j := getSargs(s, dst, x)
 	work := (s.NNZ() + s.Rows) * x.Cols
 	if work < minParFlops {
-		body(0, s.Rows)
-		return
+		j.spmm(0, s.Rows)
+	} else {
+		perRow := work/s.Rows + 1
+		grain := grainFlops / perRow
+		if grain < 1 {
+			grain = 1
+		}
+		par.For(s.Rows, grain, j.spmmBody)
 	}
-	perRow := work/s.Rows + 1
-	grain := grainFlops / perRow
-	if grain < 1 {
-		grain = 1
-	}
-	par.For(s.Rows, grain, body)
+	j.put()
 }
 
 // SpMMTrans computes dst = sᵀ·x, overwriting dst, via a transpose CSR
 // that is built once per matrix and cached. dst must be s.Cols × x.Cols
 // with x s.Rows rows.
 func (s *Matrix) SpMMTrans(dst, x *mat.Matrix) {
-	s.transposed().SpMM(dst, x)
+	s.transposed().SpMMInto(dst, x)
 }
+
+// SpMMTransInto is SpMMTrans under the Into-kernel naming convention.
+func (s *Matrix) SpMMTransInto(dst, x *mat.Matrix) { s.SpMMTrans(dst, x) }
 
 // Mul returns s·x as a fresh matrix.
 func (s *Matrix) Mul(x *mat.Matrix) *mat.Matrix {
