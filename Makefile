@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-kernels bench-json bench-check vet chaos resume
+# BENCH_BASELINE names the tracked perf baseline this branch records and
+# gates against. Bump it once per PR that intentionally moves perf;
+# benchjson's compare mode also auto-discovers the highest-numbered
+# BENCH_<n>.json when invoked without -baseline.
+BENCH_BASELINE ?= BENCH_6.json
+
+.PHONY: all build test race bench bench-kernels bench-json bench-check vet chaos resume smoke
 
 all: build test
 
@@ -39,19 +45,24 @@ bench:
 bench-kernels:
 	$(GO) test -bench='BenchmarkMatMul|BenchmarkSpMM|BenchmarkLabelPropagationScale' -benchmem
 
-# bench-json re-records the tracked baseline (BENCH_5.json). Run it on a
-# quiet machine after an intentional perf change and commit the result.
-# -benchtime=1x keeps the sweep short; ns/op at 1x is noisy, which is why
-# the gate below uses a generous 20% threshold and alloc discipline is
-# enforced by AllocsPerRun unit tests rather than here.
+# bench-json re-records the tracked baseline ($(BENCH_BASELINE)). Run it
+# on a quiet machine after an intentional perf change and commit the
+# result. -benchtime=1x keeps the sweep short; ns/op at 1x is noisy,
+# which is why the gate below uses a generous 20% threshold and alloc
+# discipline is enforced by AllocsPerRun unit tests rather than here.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_5.json
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -out $(BENCH_BASELINE)
 
 # bench-check is the CI perf gate: fresh short run diffed against the
 # committed baseline, failing on any >=20% ns/op regression.
 bench-check:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson -out bench_current.json
-	$(GO) run ./cmd/benchjson -compare -baseline BENCH_5.json -current bench_current.json -threshold 0.20
+	$(GO) run ./cmd/benchjson -compare -baseline $(BENCH_BASELINE) -current bench_current.json -threshold 0.20
+
+# smoke builds and runs the quickstart example end to end — the fastest
+# whole-pipeline sanity check (graph build, encoders, LP, SAGE, eval).
+smoke:
+	$(GO) run ./examples/quickstart
 
 vet:
 	$(GO) vet ./...

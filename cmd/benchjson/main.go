@@ -7,9 +7,12 @@
 //
 // Compare mode diffs a fresh run against the committed baseline and exits
 // non-zero if any benchmark's ns/op regressed by more than -threshold
-// (a fraction; 0.20 means "20% slower fails"):
+// (a fraction; 0.20 means "20% slower fails"). With no -baseline it
+// auto-discovers the highest-numbered BENCH_<n>.json in the working
+// directory, so the gate follows each PR's recorded baseline without a
+// flag change:
 //
-//	go run ./cmd/benchjson -compare -baseline BENCH_5.json -current /tmp/new.json
+//	go run ./cmd/benchjson -compare -current /tmp/new.json
 //
 // allocs/op and B/op are recorded for every benchmark but only reported,
 // not gated: ns/op on a shared CI runner is noisy enough already, and the
@@ -40,7 +43,7 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// File is the envelope written to BENCH_5.json.
+// File is the envelope written to BENCH_<n>.json.
 type File struct {
 	Note       string   `json:"note"`
 	Benchmarks []Result `json:"benchmarks"`
@@ -99,6 +102,36 @@ func parse(lines *bufio.Scanner) ([]Result, error) {
 	return out, nil
 }
 
+// baselinePattern matches tracked baseline filenames and captures the
+// PR sequence number.
+var baselinePattern = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// discoverBaseline returns the highest-numbered BENCH_<n>.json in dir.
+func discoverBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := baselinePattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			best, bestN = e.Name(), n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_<n>.json baseline found in %s", dir)
+	}
+	return best, nil
+}
+
 func load(path string) (*File, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -152,7 +185,7 @@ func main() {
 	var (
 		out       = flag.String("out", "", "write parsed results as JSON to this path (record mode)")
 		doCompare = flag.Bool("compare", false, "compare -current against -baseline instead of recording")
-		basePath  = flag.String("baseline", "BENCH_5.json", "baseline JSON (compare mode)")
+		basePath  = flag.String("baseline", "", "baseline JSON (compare mode); empty = highest-numbered BENCH_<n>.json here")
 		curPath   = flag.String("current", "", "current-run JSON (compare mode)")
 		threshold = flag.Float64("threshold", 0.20, "ns/op regression fraction that fails the comparison")
 		note      = flag.String("note", "", "free-form note stored in the JSON envelope")
@@ -163,6 +196,15 @@ func main() {
 		if *curPath == "" {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare requires -current")
 			os.Exit(2)
+		}
+		if *basePath == "" {
+			found, err := discoverBaseline(".")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(2)
+			}
+			fmt.Printf("benchjson: comparing against %s\n", found)
+			*basePath = found
 		}
 		baseline, err := load(*basePath)
 		if err != nil {

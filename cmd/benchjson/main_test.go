@@ -2,6 +2,8 @@ package main
 
 import (
 	"bufio"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -117,5 +119,27 @@ func TestCompareNewAndGoneAreNotFailures(t *testing.T) {
 	}
 	if !strings.Contains(report, "NEW") || !strings.Contains(report, "GONE") {
 		t.Fatalf("report missing NEW/GONE lines:\n%s", report)
+	}
+}
+
+func TestDiscoverBaselinePicksHighest(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2.json", "BENCH_10.json", "BENCH_9.json", "BENCH_x.json", "bench_current.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := discoverBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "BENCH_10.json" {
+		t.Fatalf("discovered %q, want BENCH_10.json", got)
+	}
+}
+
+func TestDiscoverBaselineErrorsWhenAbsent(t *testing.T) {
+	if _, err := discoverBaseline(t.TempDir()); err == nil {
+		t.Fatal("expected an error with no baselines present")
 	}
 }

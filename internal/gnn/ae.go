@@ -4,6 +4,15 @@
 // classifier (Eq. 3) with post-aggregation L2 normalisation (Eq. 4)
 // trained to attribute event nodes, with hand-derived gradients on the
 // stdlib.
+//
+// Every model in the package is generic over the storage precision
+// (float32 or float64, mat.Float). The exported float64 aliases —
+// Model, GCN, Autoencoder, EncoderSet, Input — keep existing call sites
+// unchanged and are the numerical reference; the float32 instantiations
+// halve weight/activation bandwidth and are pinned to the reference
+// within tolerance by the equivalence tests. Scalar reductions (losses,
+// norms, Adam moments) accumulate in float64 at every precision, per
+// internal/mat's package contract.
 package gnn
 
 import (
@@ -18,18 +27,18 @@ import (
 // linear is a bias-equipped dense layer with explicit gradient
 // accumulators, shared by the autoencoders, the label embedding, and the
 // SAGE layers.
-type linear struct {
-	w, b *ml.Param
+type linear[T mat.Float] struct {
+	w, b *ml.ParamOf[T]
 }
 
-func newLinear(rng *rand.Rand, in, out int) *linear {
-	return &linear{
-		w: &ml.Param{W: mat.GlorotUniform(rng, in, out), G: mat.New(in, out)},
-		b: &ml.Param{W: mat.New(1, out), G: mat.New(1, out)},
+func newLinear[T mat.Float](rng *rand.Rand, in, out int) *linear[T] {
+	return &linear[T]{
+		w: &ml.ParamOf[T]{W: mat.GlorotUniformOf[T](rng, in, out), G: mat.NewOf[T](in, out)},
+		b: &ml.ParamOf[T]{W: mat.NewOf[T](1, out), G: mat.NewOf[T](1, out)},
 	}
 }
 
-func (l *linear) forward(x *mat.Matrix) *mat.Matrix {
+func (l *linear[T]) forward(x *mat.Dense[T]) *mat.Dense[T] {
 	out := mat.MatMul(x, l.w.W)
 	out.AddRowVector(l.b.W.Row(0))
 	return out
@@ -37,7 +46,7 @@ func (l *linear) forward(x *mat.Matrix) *mat.Matrix {
 
 // backward accumulates gradients given the layer input and the output
 // gradient, returning the input gradient.
-func (l *linear) backward(x, grad *mat.Matrix) *mat.Matrix {
+func (l *linear[T]) backward(x, grad *mat.Dense[T]) *mat.Dense[T] {
 	mat.AddInPlace(l.w.G, mat.MatMulTransA(x, grad))
 	bg := l.b.G.Row(0)
 	for i := 0; i < grad.Rows; i++ {
@@ -46,12 +55,12 @@ func (l *linear) backward(x, grad *mat.Matrix) *mat.Matrix {
 	return mat.MatMulTransB(grad, l.w.W)
 }
 
-func (l *linear) params() []*ml.Param { return []*ml.Param{l.w, l.b} }
+func (l *linear[T]) params() []*ml.ParamOf[T] { return []*ml.ParamOf[T]{l.w, l.b} }
 
 // forwardWS is forward with the output borrowed from ws instead of
 // allocated — identical arithmetic (MatMulInto writes the same ikj
 // product into a zeroed buffer, then the bias row is added).
-func (l *linear) forwardWS(ws *mat.Workspace, x *mat.Matrix) *mat.Matrix {
+func (l *linear[T]) forwardWS(ws *mat.WorkspaceOf[T], x *mat.Dense[T]) *mat.Dense[T] {
 	out := ws.GetDirty(x.Rows, l.w.W.Cols)
 	mat.MatMulInto(out, x, l.w.W)
 	out.AddRowVector(l.b.W.Row(0))
@@ -61,7 +70,7 @@ func (l *linear) forwardWS(ws *mat.Workspace, x *mat.Matrix) *mat.Matrix {
 // backwardWS is backward with both scratch products borrowed from ws.
 // The weight-gradient product lands in a zeroed buffer and is added into
 // l.w.G exactly like the fresh MatMulTransA the allocating path used.
-func (l *linear) backwardWS(ws *mat.Workspace, x, grad *mat.Matrix) *mat.Matrix {
+func (l *linear[T]) backwardWS(ws *mat.WorkspaceOf[T], x, grad *mat.Dense[T]) *mat.Dense[T] {
 	l.accumulateWS(ws, x, grad)
 	out := ws.GetDirty(grad.Rows, l.w.W.Rows)
 	mat.MatMulTransBInto(out, grad, l.w.W)
@@ -71,7 +80,7 @@ func (l *linear) backwardWS(ws *mat.Workspace, x, grad *mat.Matrix) *mat.Matrix 
 // accumulateWS accumulates the parameter gradients only, skipping the
 // input-gradient product — for the first layer of a network, whose input
 // gradient nobody consumes.
-func (l *linear) accumulateWS(ws *mat.Workspace, x, grad *mat.Matrix) {
+func (l *linear[T]) accumulateWS(ws *mat.WorkspaceOf[T], x, grad *mat.Dense[T]) {
 	tmp := ws.GetDirty(l.w.G.Rows, l.w.G.Cols)
 	mat.MatMulTransAInto(tmp, x, grad)
 	mat.AddInPlace(l.w.G, tmp)
@@ -81,10 +90,19 @@ func (l *linear) accumulateWS(ws *mat.Workspace, x, grad *mat.Matrix) {
 	}
 }
 
+// cloneLinear deep-copies a layer's weights with zeroed gradients — the
+// shared helper behind CloneModel/CloneGCN and checkpoint revival.
+func cloneLinear[T mat.Float](l *linear[T]) *linear[T] {
+	return &linear[T]{
+		w: &ml.ParamOf[T]{W: l.w.W.Clone(), G: mat.NewOf[T](l.w.G.Rows, l.w.G.Cols)},
+		b: &ml.ParamOf[T]{W: l.b.W.Clone(), G: mat.NewOf[T](l.b.G.Rows, l.b.G.Cols)},
+	}
+}
+
 // reluForward returns max(x,0) and the mask for backprop.
-func reluForward(x *mat.Matrix) (out, mask *mat.Matrix) {
+func reluForward[T mat.Float](x *mat.Dense[T]) (out, mask *mat.Dense[T]) {
 	out = x.Clone()
-	mask = mat.New(x.Rows, x.Cols)
+	mask = mat.NewOf[T](x.Rows, x.Cols)
 	for i, v := range out.Data {
 		if v <= 0 {
 			out.Data[i] = 0
@@ -116,16 +134,25 @@ func DefaultAEConfig() AEConfig {
 	return AEConfig{Hidden: 128, Encoding: 64, LR: 1e-3, Epochs: 5, Batch: 64, Seed: 1, MaxRows: 4000}
 }
 
-// Autoencoder is the Eq. 5 module: encoder f and decoder g, each a
-// two-layer feed-forward network, trained with reconstruction MSE.
-type Autoencoder struct {
+// AutoencoderOf is the Eq. 5 module at element type T: encoder f and
+// decoder g, each a two-layer feed-forward network, trained with
+// reconstruction MSE. Weight initialisation draws the same RNG sequence
+// at every precision, so a float32 autoencoder starts from the rounded
+// float64 init.
+type AutoencoderOf[T mat.Float] struct {
 	Config                 AEConfig
-	enc1, enc2, dec1, dec2 *linear
+	enc1, enc2, dec1, dec2 *linear[T]
 	inDim                  int
 }
 
-// NewAutoencoder returns an untrained autoencoder.
-func NewAutoencoder(cfg AEConfig) *Autoencoder {
+// Autoencoder is the float64 reference instantiation of AutoencoderOf.
+type Autoencoder = AutoencoderOf[float64]
+
+// NewAutoencoder returns an untrained float64 autoencoder.
+func NewAutoencoder(cfg AEConfig) *Autoencoder { return NewAutoencoderOf[float64](cfg) }
+
+// NewAutoencoderOf returns an untrained autoencoder at element type T.
+func NewAutoencoderOf[T mat.Float](cfg AEConfig) *AutoencoderOf[T] {
 	if cfg.Hidden <= 0 {
 		cfg.Hidden = 128
 	}
@@ -141,45 +168,45 @@ func NewAutoencoder(cfg AEConfig) *Autoencoder {
 	if cfg.Batch <= 0 {
 		cfg.Batch = 64
 	}
-	return &Autoencoder{Config: cfg}
+	return &AutoencoderOf[T]{Config: cfg}
 }
 
 // InitRandom builds the encoder/decoder weights without any training —
 // the "plain random projection" baseline the paper's §VI-C argues
 // against; used by the encoder-type ablation bench.
-func (a *Autoencoder) InitRandom(inDim int) {
+func (a *AutoencoderOf[T]) InitRandom(inDim int) {
 	rng := rand.New(rand.NewSource(a.Config.Seed))
 	a.inDim = inDim
-	a.enc1 = newLinear(rng, inDim, a.Config.Hidden)
-	a.enc2 = newLinear(rng, a.Config.Hidden, a.Config.Encoding)
-	a.dec1 = newLinear(rng, a.Config.Encoding, a.Config.Hidden)
-	a.dec2 = newLinear(rng, a.Config.Hidden, inDim)
+	a.enc1 = newLinear[T](rng, inDim, a.Config.Hidden)
+	a.enc2 = newLinear[T](rng, a.Config.Hidden, a.Config.Encoding)
+	a.dec1 = newLinear[T](rng, a.Config.Encoding, a.Config.Hidden)
+	a.dec2 = newLinear[T](rng, a.Config.Hidden, inDim)
 }
 
 // Fit minimises ||X - g(f(X))||^2 with Adam.
-func (a *Autoencoder) Fit(X *mat.Matrix) error {
+func (a *AutoencoderOf[T]) Fit(X *mat.Dense[T]) error {
 	return a.FitCtx(context.Background(), X)
 }
 
 // FitCtx is Fit with cooperative cancellation at epoch boundaries and a
 // divergence guard on the reconstruction loss.
-func (a *Autoencoder) FitCtx(ctx context.Context, X *mat.Matrix) error {
+func (a *AutoencoderOf[T]) FitCtx(ctx context.Context, X *mat.Dense[T]) error {
 	if X.Rows == 0 {
 		return errors.New("gnn: Autoencoder.Fit empty input")
 	}
 	cfg := a.Config
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	a.inDim = X.Cols
-	a.enc1 = newLinear(rng, X.Cols, cfg.Hidden)
-	a.enc2 = newLinear(rng, cfg.Hidden, cfg.Encoding)
-	a.dec1 = newLinear(rng, cfg.Encoding, cfg.Hidden)
-	a.dec2 = newLinear(rng, cfg.Hidden, X.Cols)
+	a.enc1 = newLinear[T](rng, X.Cols, cfg.Hidden)
+	a.enc2 = newLinear[T](rng, cfg.Hidden, cfg.Encoding)
+	a.dec1 = newLinear[T](rng, cfg.Encoding, cfg.Hidden)
+	a.dec2 = newLinear[T](rng, cfg.Hidden, X.Cols)
 
-	var params []*ml.Param
-	for _, l := range []*linear{a.enc1, a.enc2, a.dec1, a.dec2} {
+	var params []*ml.ParamOf[T]
+	for _, l := range []*linear[T]{a.enc1, a.enc2, a.dec1, a.dec2} {
 		params = append(params, l.params()...)
 	}
-	opt := ml.NewAdam(cfg.LR, params)
+	opt := ml.NewAdamOf(cfg.LR, params)
 
 	idx := make([]int, X.Rows)
 	for i := range idx {
@@ -193,7 +220,7 @@ func (a *Autoencoder) FitCtx(ctx context.Context, X *mat.Matrix) error {
 	// steady-state epochs allocate nothing. The smaller final batch
 	// reshapes the same buffers in place (capacity is sized by the first,
 	// full-size batch).
-	ws := newTrainWorkspace()
+	ws := trainWorkspaceOf[T]()
 	defer ws.Release()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if err := ctx.Err(); err != nil {
@@ -221,12 +248,14 @@ func (a *Autoencoder) FitCtx(ctx context.Context, X *mat.Matrix) error {
 			m2 := ws.GetDirty(d1.Rows, d1.Cols)
 			mat.AddBiasReLUInto(d1, a.dec1.b.W.Row(0), m2)
 			recon := a.dec2.forwardWS(ws, d1)
-			// MSE gradient: 2(recon - x)/n, in the recon buffer.
+			// MSE gradient: 2(recon - x)/n, in the recon buffer. The loss
+			// itself accumulates in float64 at every precision.
 			diff := mat.SubInPlace(recon, xb)
 			for _, v := range diff.Data {
-				epochLoss += v * v
+				f := float64(v)
+				epochLoss += f * f
 			}
-			grad := diff.Scale(2 / float64(xb.Rows*xb.Cols))
+			grad := diff.Scale(T(2 / float64(xb.Rows*xb.Cols)))
 			// Backward.
 			g := a.dec2.backwardWS(ws, d1, grad)
 			mat.HadamardInPlace(g, m2)
@@ -244,7 +273,7 @@ func (a *Autoencoder) FitCtx(ctx context.Context, X *mat.Matrix) error {
 }
 
 // Encode projects rows of X into the code space.
-func (a *Autoencoder) Encode(X *mat.Matrix) *mat.Matrix {
+func (a *AutoencoderOf[T]) Encode(X *mat.Dense[T]) *mat.Dense[T] {
 	if a.enc1 == nil {
 		panic("gnn: Autoencoder.Encode before Fit")
 	}
@@ -253,21 +282,21 @@ func (a *Autoencoder) Encode(X *mat.Matrix) *mat.Matrix {
 }
 
 // Reconstruct runs the full encode-decode round trip.
-func (a *Autoencoder) Reconstruct(X *mat.Matrix) *mat.Matrix {
+func (a *AutoencoderOf[T]) Reconstruct(X *mat.Dense[T]) *mat.Dense[T] {
 	code := a.Encode(X)
 	d1, _ := reluForward(a.dec1.forward(code))
 	return a.dec2.forward(d1)
 }
 
 // ReconstructionError returns mean squared reconstruction error over X.
-func (a *Autoencoder) ReconstructionError(X *mat.Matrix) float64 {
+func (a *AutoencoderOf[T]) ReconstructionError(X *mat.Dense[T]) float64 {
 	if X.Rows == 0 {
 		return 0
 	}
 	rec := a.Reconstruct(X)
 	sum := 0.0
 	for i, v := range rec.Data {
-		d := v - X.Data[i]
+		d := float64(v) - float64(X.Data[i])
 		sum += d * d
 	}
 	return sum / float64(len(X.Data))

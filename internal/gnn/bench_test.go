@@ -141,3 +141,56 @@ func BenchmarkAEFit(b *testing.B) {
 		}
 	}
 }
+
+// Float32 counterparts of the training/inference benches, for the
+// precision bandwidth table: same graph, same epochs, half the bytes
+// through every kernel.
+
+func BenchmarkSAGETrain32(b *testing.B) {
+	in, events := benchInput(6, 60, 120, 64)
+	in32 := CastInput[float32](in)
+	cfg := benchConfig(2, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(in32, events, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGCNTrain32(b *testing.B) {
+	in, events := benchInput(6, 60, 120, 64)
+	in32 := CastInput[float32](in)
+	cfg := benchConfig(2, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainGCN(in32, events, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSAGEPredict32(b *testing.B) {
+	in, events := benchInput(6, 60, 120, 64)
+	in32 := CastInput[float32](in)
+	cfg := benchConfig(2, 12)
+	m, err := Train(in32, events, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	visible := make(map[graph.NodeID]int, len(events)/2)
+	for _, ev := range events[:len(events)/2] {
+		visible[ev] = in32.Labels[ev]
+	}
+	queries := events[len(events)/2:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		preds := m.Predict(in32, visible, queries)
+		if len(preds) != len(queries) {
+			b.Fatal("short prediction")
+		}
+	}
+}

@@ -46,8 +46,10 @@ type Explanation struct {
 // Explain learns an edge mask over the L-hop neighbourhood of target that
 // preserves the model's prediction for the given class (pass the model's
 // own prediction to explain its behaviour, or the true label to probe
-// counterfactuals).
-func (m *Model) Explain(in Input, visible map[graph.NodeID]int, target graph.NodeID, class int, cfg ExplainerConfig) *Explanation {
+// counterfactuals). The mask optimisation itself (theta, Adam moments,
+// edge gradients) always runs in float64; only the model forward/backward
+// runs at the model's element type.
+func (m *ModelOf[T]) Explain(in InputOf[T], visible map[graph.NodeID]int, target graph.NodeID, class int, cfg ExplainerConfig) *Explanation {
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 80
 	}
@@ -97,7 +99,7 @@ func (m *Model) Explain(in Input, visible map[graph.NodeID]int, target graph.Nod
 	// Freeze the subgraph structure as a CSR once; each epoch only
 	// re-weights its entries with the current mask. entryEdge maps CSR
 	// entry positions back to edge indexes.
-	sub := &maskedSub{csr: sparse.FromAdj(subAdj), adj: subAdj, adjEdge: adjEdge}
+	sub := &maskedSub[T]{csr: sparse.Cast[T](sparse.FromAdj(subAdj)), adj: subAdj, adjEdge: adjEdge}
 	sub.entryEdge = make([]int, sub.csr.NNZ())
 	k := 0
 	for u := range subAdj {
@@ -175,8 +177,8 @@ func (m *Model) Explain(in Input, visible map[graph.NodeID]int, target graph.Nod
 // its CSR structure (re-weighted each epoch), the adjacency lists and
 // per-position edge indexes for the edge-gradient reduction, and the map
 // from CSR entry position to edge index.
-type maskedSub struct {
-	csr       *sparse.Matrix
+type maskedSub[T mat.Float] struct {
+	csr       *sparse.CSR[T]
 	adj       [][]graph.NodeID
 	adjEdge   [][]int
 	entryEdge []int
@@ -184,7 +186,7 @@ type maskedSub struct {
 
 // maskedGrad runs a forward pass with edge-weighted aggregation and
 // returns d(-log p_class(target))/dw per edge, plus the probability.
-func (m *Model) maskedGrad(in Input, sub *maskedSub, w []float64, visible map[graph.NodeID]int, target graph.NodeID, class int) ([]float64, float64) {
+func (m *ModelOf[T]) maskedGrad(in InputOf[T], sub *maskedSub[T], w []float64, visible map[graph.NodeID]int, target graph.NodeID, class int) ([]float64, float64) {
 	subAdj, adjEdge := sub.adj, sub.adjEdge
 	n := len(subAdj)
 
@@ -206,22 +208,22 @@ func (m *Model) maskedGrad(in Input, sub *maskedSub, w []float64, visible map[gr
 			sumw[v] += w[ei]
 		}
 	}
-	val := make([]float64, len(sub.entryEdge))
+	val := make([]T, len(sub.entryEdge))
 	for k, ei := range sub.entryEdge {
-		val[k] = w[ei]
+		val[k] = T(w[ei])
 	}
-	scale := make([]float64, n)
+	scale := make([]T, n)
 	for v, s := range sumw {
 		if s > 1e-12 {
-			scale[v] = 1 / s
+			scale[v] = T(1 / s)
 		}
 	}
 	wOp := sub.csr.WithValues(val, scale)
-	weightedMean := func(h *mat.Matrix) *mat.Matrix { return wOp.Mul(h) }
+	weightedMean := func(h *mat.Dense[T]) *mat.Dense[T] { return wOp.Mul(h) }
 
 	type layerCache struct {
-		hPrev, mean, out *mat.Matrix
-		mask             *mat.Matrix
+		hPrev, mean, out *mat.Dense[T]
+		mask             *mat.Dense[T]
 		norms            []float64
 	}
 	var caches []layerCache
@@ -242,7 +244,7 @@ func (m *Model) maskedGrad(in Input, sub *maskedSub, w []float64, visible map[gr
 				nm := mat.Norm2(row)
 				lc.norms[i] = nm
 				if nm > 0 {
-					invN := 1 / nm
+					invN := T(1 / nm)
 					for j := range row {
 						row[j] *= invN
 					}
@@ -254,13 +256,13 @@ func (m *Model) maskedGrad(in Input, sub *maskedSub, w []float64, visible map[gr
 		cur = lc.out
 	}
 	logits := cur.Row(int(target))
-	probs := make([]float64, len(logits))
+	probs := make([]T, len(logits))
 	mat.Softmax(probs, logits)
-	p := probs[class]
+	p := float64(probs[class])
 
 	// Backward: d(-log p)/dlogits = probs - onehot(class), only on the
 	// target row.
-	g := mat.New(n, m.classes)
+	g := mat.NewOf[T](n, m.classes)
 	gRow := g.Row(int(target))
 	copy(gRow, probs)
 	gRow[class] -= 1
@@ -270,7 +272,7 @@ func (m *Model) maskedGrad(in Input, sub *maskedSub, w []float64, visible map[gr
 		lc := caches[li]
 		if li < len(m.layers)-1 {
 			y := lc.out
-			out := mat.New(g.Rows, g.Cols)
+			out := mat.NewOf[T](g.Rows, g.Cols)
 			for i := 0; i < g.Rows; i++ {
 				if lc.norms[i] == 0 {
 					continue
@@ -279,7 +281,7 @@ func (m *Model) maskedGrad(in Input, sub *maskedSub, w []float64, visible map[gr
 				dot := mat.Dot(gr, yr)
 				invN := 1 / lc.norms[i]
 				for j := range or {
-					or[j] = (gr[j] - dot*yr[j]) * invN
+					or[j] = T((float64(gr[j]) - dot*float64(yr[j])) * invN)
 				}
 			}
 			g = mat.Hadamard(out, lc.mask)
@@ -287,7 +289,8 @@ func (m *Model) maskedGrad(in Input, sub *maskedSub, w []float64, visible map[gr
 		// Through the linear layer (no parameter grads needed here).
 		gMean := mat.MatMulTransB(g, m.layers[li].w.W)
 		// Edge gradients through the weighted mean:
-		// dL/dw_e += g_mean[v] . (h_prev[n] - mean[v]) / sumw[v].
+		// dL/dw_e += g_mean[v] . (h_prev[n] - mean[v]) / sumw[v]. The
+		// reduction accumulates in float64 at every precision.
 		for v := range subAdj {
 			if sumw[v] <= 1e-12 {
 				continue
@@ -299,7 +302,7 @@ func (m *Model) maskedGrad(in Input, sub *maskedSub, w []float64, visible map[gr
 				hn := lc.hPrev.Row(int(nb))
 				d := 0.0
 				for j := range gv {
-					d += gv[j] * (hn[j] - mv[j])
+					d += float64(gv[j]) * (float64(hn[j]) - float64(mv[j]))
 				}
 				edgeGrad[adjEdge[v][k]] += d * inv
 			}

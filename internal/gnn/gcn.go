@@ -11,8 +11,8 @@ import (
 	"trail/internal/sparse"
 )
 
-// GCN implements the graph convolutional network of the paper's Eq. 2
-// (Kipf & Welling):
+// GCNOf implements the graph convolutional network of the paper's Eq. 2
+// (Kipf & Welling) at element type T:
 //
 //	H^l = σ( D^{-1/2} Ã D^{-1/2} H^{l-1} W^l + b^l ),  Ã = A + I.
 //
@@ -21,16 +21,22 @@ import (
 // baseline for the SAGE-vs-GCN ablation bench. The propagation operator
 // is symmetric, which keeps backpropagation simple: the adjoint of S is
 // S itself.
-type GCN struct {
+type GCNOf[T mat.Float] struct {
 	Config   Config
 	classes  int
-	labelEmb *linear
-	layers   []*linear
+	labelEmb *linear[T]
+	layers   []*linear[T]
 }
 
-// NewGCN initialises a GCN with the same configuration shape as the SAGE
-// model (MaxNeighbors is ignored; GCN is always full-graph).
-func NewGCN(cfg Config, classes int) *GCN {
+// GCN is the float64 reference instantiation of GCNOf.
+type GCN = GCNOf[float64]
+
+// NewGCN initialises a float64 GCN with the same configuration shape as
+// the SAGE model (MaxNeighbors is ignored; GCN is always full-graph).
+func NewGCN(cfg Config, classes int) *GCN { return NewGCNOf[float64](cfg, classes) }
+
+// NewGCNOf initialises a GCN at element type T.
+func NewGCNOf[T mat.Float](cfg Config, classes int) *GCNOf[T] {
 	if cfg.Layers < 1 {
 		cfg.Layers = 2
 	}
@@ -47,21 +53,21 @@ func NewGCN(cfg Config, classes int) *GCN {
 		cfg.Epochs = 30
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	g := &GCN{Config: cfg, classes: classes}
-	g.labelEmb = newLinear(rng, classes, cfg.Encoding)
+	g := &GCNOf[T]{Config: cfg, classes: classes}
+	g.labelEmb = newLinear[T](rng, classes, cfg.Encoding)
 	prev := cfg.Encoding
 	for l := 0; l < cfg.Layers; l++ {
 		out := cfg.Hidden
 		if l == cfg.Layers-1 {
 			out = classes
 		}
-		g.layers = append(g.layers, newLinear(rng, prev, out))
+		g.layers = append(g.layers, newLinear[T](rng, prev, out))
 		prev = out
 	}
 	return g
 }
 
-func (g *GCN) params() []*ml.Param {
+func (g *GCNOf[T]) params() []*ml.ParamOf[T] {
 	ps := g.labelEmb.params()
 	for _, l := range g.layers {
 		ps = append(ps, l.params()...)
@@ -73,20 +79,14 @@ func (g *GCN) params() []*ml.Param {
 // (Ã = A + I) as a CSR matrix from the input's shared adjacency
 // snapshot; forward and backward are then plain SpMM calls (the adjoint
 // of the symmetric S is S itself).
-func gcnOperator(in Input) *sparse.Matrix {
+func gcnOperator[T mat.Float](in InputOf[T]) *sparse.CSR[T] {
 	return inputCSR(in).SymNormalizedWithSelfLoops()
 }
 
 // CloneGCN deep-copies the model (weights and config), mirroring
-// (*Model).CloneModel for the checkpoint layer.
-func (g *GCN) CloneGCN() *GCN {
-	cp := &GCN{Config: g.Config, classes: g.classes}
-	cloneLinear := func(l *linear) *linear {
-		return &linear{
-			w: &ml.Param{W: l.w.W.Clone(), G: mat.New(l.w.G.Rows, l.w.G.Cols)},
-			b: &ml.Param{W: l.b.W.Clone(), G: mat.New(l.b.G.Rows, l.b.G.Cols)},
-		}
-	}
+// (*ModelOf).CloneModel for the checkpoint layer.
+func (g *GCNOf[T]) CloneGCN() *GCNOf[T] {
+	cp := &GCNOf[T]{Config: g.Config, classes: g.classes}
 	cp.labelEmb = cloneLinear(g.labelEmb)
 	for _, l := range g.layers {
 		cp.layers = append(cp.layers, cloneLinear(l))
@@ -96,26 +96,26 @@ func (g *GCN) CloneGCN() *GCN {
 
 // TrainGCN fits a GCN with the same label-visibility protocol as the SAGE
 // trainer.
-func TrainGCN(in Input, trainEvents []graph.NodeID, cfg Config) (*GCN, error) {
-	return TrainGCNCtx(in, trainEvents, cfg, TrainOpts{})
+func TrainGCN[T mat.Float](in InputOf[T], trainEvents []graph.NodeID, cfg Config) (*GCNOf[T], error) {
+	return TrainGCNCtx(in, trainEvents, cfg, TrainOptsOf[T]{})
 }
 
 // TrainGCNCtx is TrainGCN with the crash-safety knobs of TrainCtx:
 // cancellable context, epoch-granular checkpoint hook, and bit-identical
 // resume from a checkpointed TrainState.
-func TrainGCNCtx(in Input, trainEvents []graph.NodeID, cfg Config, opts TrainOpts) (*GCN, error) {
+func TrainGCNCtx[T mat.Float](in InputOf[T], trainEvents []graph.NodeID, cfg Config, opts TrainOptsOf[T]) (*GCNOf[T], error) {
 	st, err := opts.resumeFor(archGCN)
 	if err != nil {
 		return nil, err
 	}
-	var g *GCN
+	var g *GCNOf[T]
 	if st != nil {
 		if st.GCN == nil {
 			return nil, errors.New("gnn: resume state carries no GCN weights")
 		}
 		g = st.GCN.CloneGCN()
 	} else {
-		g = NewGCN(cfg, in.Classes)
+		g = NewGCNOf[T](cfg, in.Classes)
 	}
 	if len(trainEvents) < 2 {
 		return nil, errors.New("gnn: need at least 2 training events")
@@ -126,7 +126,7 @@ func TrainGCNCtx(in Input, trainEvents []graph.NodeID, cfg Config, opts TrainOpt
 	ctx := opts.ctx()
 	src := ml.NewCountingSource(g.Config.Seed + 31)
 	ps := g.params()
-	opt := ml.NewAdam(g.Config.LR, ps)
+	opt := ml.NewAdamOf(g.Config.LR, ps)
 	start := 0
 	if st != nil {
 		start = st.Epoch
@@ -142,7 +142,7 @@ func TrainGCNCtx(in Input, trainEvents []graph.NodeID, cfg Config, opts TrainOpt
 		if opts.Checkpoint == nil {
 			return nil
 		}
-		return opts.Checkpoint(&TrainState{
+		return opts.Checkpoint(&TrainStateOf[T]{
 			Arch:  archGCN,
 			Epoch: completed,
 			RNG:   src.State(),
@@ -155,7 +155,7 @@ func TrainGCNCtx(in Input, trainEvents []graph.NodeID, cfg Config, opts TrainOpt
 	defer scr.ws.Release()
 	order := scr.order
 	bestLoss := math.Inf(1)
-	var bestW []*mat.Matrix
+	var bestW []*mat.Dense[T]
 	for epoch := start; epoch < g.Config.Epochs; epoch++ {
 		if err := ctx.Err(); err != nil {
 			if cerr := checkpoint(epoch); cerr != nil {
@@ -220,46 +220,58 @@ func TrainGCNCtx(in Input, trainEvents []graph.NodeID, cfg Config, opts TrainOpt
 	return g, nil
 }
 
-type gcnActs struct {
-	inputs []*mat.Matrix // S·h fed into each linear layer
-	masks  []*mat.Matrix
-	out    *mat.Matrix
+type gcnActs[T mat.Float] struct {
+	inputs []*mat.Dense[T] // S·h fed into each linear layer
+	masks  []*mat.Dense[T]
+	out    *mat.Dense[T]
 }
 
 // gcnScratch mirrors sageScratch: one workspace plus the small reusable
 // slices, so steady-state epochs allocate nothing.
-type gcnScratch struct {
-	ws      *mat.Workspace
-	acts    gcnActs
-	probs   []float64
+type gcnScratch[T mat.Float] struct {
+	ws      *mat.WorkspaceOf[T]
+	acts    gcnActs[T]
+	probs   []T
 	order   []int
 	targets []graph.NodeID
 	visible map[graph.NodeID]int
-	lg      labelGradScratch
+	lg      labelGradScratch[T]
 }
 
-func newGCNScratch(g *GCN, nTrain int) *gcnScratch {
+func newGCNScratch[T mat.Float](g *GCNOf[T], nTrain int) *gcnScratch[T] {
 	L := len(g.layers)
-	return &gcnScratch{
-		ws: newTrainWorkspace(),
-		acts: gcnActs{
-			inputs: make([]*mat.Matrix, L),
-			masks:  make([]*mat.Matrix, L),
+	return &gcnScratch[T]{
+		ws: trainWorkspaceOf[T](),
+		acts: gcnActs[T]{
+			inputs: make([]*mat.Dense[T], L),
+			masks:  make([]*mat.Dense[T], L),
 		},
-		probs:   make([]float64, g.classes),
+		probs:   make([]T, g.classes),
 		order:   make([]int, nTrain),
 		targets: make([]graph.NodeID, 0, nTrain),
 		visible: make(map[graph.NodeID]int, nTrain/2+1),
-		lg:      newLabelGradScratch(g.classes, nTrain),
+		lg:      newLabelGradScratch[T](g.classes, nTrain),
 	}
 }
 
-func (g *GCN) forward(in Input, s *sparse.Matrix, visible map[graph.NodeID]int, ws *mat.Workspace, acts *gcnActs) *gcnActs {
+// forward runs the propagation stack. When perm is non-nil the pass runs
+// in the permuted vertex order (inputs gathered, visible labels
+// remapped), mirroring the SAGE forwardInfer contract; training always
+// passes nil.
+func (g *GCNOf[T]) forward(in InputOf[T], s *sparse.CSR[T], perm *sparse.Permutation, visible map[graph.NodeID]int, ws *mat.WorkspaceOf[T], acts *gcnActs[T]) *gcnActs[T] {
 	h := ws.GetDirty(in.Enc.Rows, in.Enc.Cols)
-	mat.CopyInto(h, in.Enc)
+	if perm != nil {
+		sparse.GatherRowsInto(perm, h, in.Enc)
+	} else {
+		mat.CopyInto(h, in.Enc)
+	}
 	for ev, c := range visible {
 		if c >= 0 && c < g.classes {
-			row := h.Row(int(ev))
+			r := int(ev)
+			if perm != nil {
+				r = int(perm.Inv[ev])
+			}
+			row := h.Row(r)
 			mat.Axpy(1, g.labelEmb.w.W.Row(c), row)
 			mat.Axpy(1, g.labelEmb.b.W.Row(0), row)
 		}
@@ -283,9 +295,9 @@ func (g *GCN) forward(in Input, s *sparse.Matrix, visible map[graph.NodeID]int, 
 	return acts
 }
 
-func (g *GCN) step(in Input, s *sparse.Matrix, scr *gcnScratch, ps []*ml.Param, opt *ml.Adam, epoch int) (float64, error) {
+func (g *GCNOf[T]) step(in InputOf[T], s *sparse.CSR[T], scr *gcnScratch[T], ps []*ml.ParamOf[T], opt *ml.AdamOf[T], epoch int) (float64, error) {
 	scr.ws.Reset()
-	acts := g.forward(in, s, scr.visible, scr.ws, &scr.acts)
+	acts := g.forward(in, s, nil, scr.visible, scr.ws, &scr.acts)
 	logits := acts.out
 
 	grad := scr.ws.Get(logits.Rows, logits.Cols)
@@ -313,18 +325,21 @@ func (g *GCN) step(in Input, s *sparse.Matrix, scr *gcnScratch, ps []*ml.Param, 
 }
 
 // Predict returns the argmax attribution per query event. All forward
-// scratch is pooled; only the returned slice is allocated.
-func (g *GCN) Predict(in Input, visible map[graph.NodeID]int, queries []graph.NodeID) []int {
-	ws := mat.NewWorkspace()
+// scratch is pooled; only the returned slice is allocated. Large graphs
+// run in the cache-reordered vertex order (bit-identical results; see
+// inferOperator).
+func (g *GCNOf[T]) Predict(in InputOf[T], visible map[graph.NodeID]int, queries []graph.NodeID) []int {
+	ws := mat.NewWorkspaceOf[T]()
 	defer ws.Release()
-	acts := gcnActs{
-		inputs: make([]*mat.Matrix, len(g.layers)),
-		masks:  make([]*mat.Matrix, len(g.layers)),
+	acts := gcnActs[T]{
+		inputs: make([]*mat.Dense[T], len(g.layers)),
+		masks:  make([]*mat.Dense[T], len(g.layers)),
 	}
-	g.forward(in, gcnOperator(in), visible, ws, &acts)
+	rs, perm := inputCSR(in).Reordered()
+	g.forward(in, rs.SymNormalizedWithSelfLoops(), perm, visible, ws, &acts)
 	out := make([]int, len(queries))
 	for i, q := range queries {
-		out[i] = mat.Argmax(acts.out.Row(int(q)))
+		out[i] = mat.Argmax(acts.out.Row(queryRow(perm, q)))
 	}
 	return out
 }

@@ -15,6 +15,13 @@ import (
 // Checkpoint kinds and payload versions for the gnn artefacts. Bump a
 // version when its wire struct changes shape; ckpt.Load then rejects old
 // files with a typed *ckpt.VersionError instead of misdecoding them.
+//
+// The element type is part of a checkpoint's identity: float64 models
+// persist under the bare kinds below (wire-compatible with pre-generic
+// checkpoints), while float32 models get a ".f32" dtype suffix on the
+// kind (see kindFor). Loading a float32 checkpoint through a float64
+// loader — or vice versa — therefore fails with a typed
+// *ckpt.KindError instead of silently reinterpreting weights.
 const (
 	KindSAGE     = "gnn.sage"
 	KindGCN      = "gnn.gcn"
@@ -27,36 +34,55 @@ const (
 	VersionTrain    uint32 = 1
 )
 
+// kindFor returns the envelope kind string for a checkpoint of element
+// type T: the bare kind at float64 (back-compatible), a ".f32"-suffixed
+// kind at float32. Exotic named Float types are not persistable and keep
+// an explicit marker so they can never collide with the canonical kinds.
+func kindFor[T mat.Float](base string) string {
+	switch any(T(0)).(type) {
+	case float64:
+		return base
+	case float32:
+		return base + ".f32"
+	default:
+		return base + ".custom"
+	}
+}
+
 // --- wire structs ------------------------------------------------------------
 //
 // The models keep weights in unexported fields (they are not part of the
 // training API), so gob needs explicit encoders. Only weights travel;
-// gradient accumulators are rebuilt zeroed on decode.
+// gradient accumulators are rebuilt zeroed on decode. The wire structs
+// are generic: gob matches fields by name, so the float64 instantiation
+// stays decode-compatible with pre-generic payloads.
 
-type linearWire struct {
-	W, B *mat.Matrix
+type linearWire[T mat.Float] struct {
+	W, B *mat.Dense[T]
 }
 
-func wireLinear(l *linear) linearWire { return linearWire{W: l.w.W, B: l.b.W} }
+func wireLinear[T mat.Float](l *linear[T]) linearWire[T] {
+	return linearWire[T]{W: l.w.W, B: l.b.W}
+}
 
-func (w linearWire) revive() *linear {
-	return &linear{
-		w: &ml.Param{W: w.W, G: mat.New(w.W.Rows, w.W.Cols)},
-		b: &ml.Param{W: w.B, G: mat.New(w.B.Rows, w.B.Cols)},
+func (w linearWire[T]) revive() *linear[T] {
+	return &linear[T]{
+		w: &ml.ParamOf[T]{W: w.W, G: mat.NewOf[T](w.W.Rows, w.W.Cols)},
+		b: &ml.ParamOf[T]{W: w.B, G: mat.NewOf[T](w.B.Rows, w.B.Cols)},
 	}
 }
 
-type modelWire struct {
+type modelWire[T mat.Float] struct {
 	Config   Config
 	Classes  int
-	LabelEmb linearWire
-	Layers   []linearWire
-	SelfW    []*mat.Matrix
+	LabelEmb linearWire[T]
+	Layers   []linearWire[T]
+	SelfW    []*mat.Dense[T]
 }
 
 // GobEncode implements gob.GobEncoder for the GraphSAGE model.
-func (m *Model) GobEncode() ([]byte, error) {
-	w := modelWire{Config: m.Config, Classes: m.classes, LabelEmb: wireLinear(m.labelEmb)}
+func (m *ModelOf[T]) GobEncode() ([]byte, error) {
+	w := modelWire[T]{Config: m.Config, Classes: m.classes, LabelEmb: wireLinear(m.labelEmb)}
 	for i, l := range m.layers {
 		w.Layers = append(w.Layers, wireLinear(l))
 		w.SelfW = append(w.SelfW, m.selfW[i].W)
@@ -65,8 +91,8 @@ func (m *Model) GobEncode() ([]byte, error) {
 }
 
 // GobDecode implements gob.GobDecoder for the GraphSAGE model.
-func (m *Model) GobDecode(b []byte) error {
-	var w modelWire
+func (m *ModelOf[T]) GobDecode(b []byte) error {
+	var w modelWire[T]
 	if err := gobValue(b, &w); err != nil {
 		return err
 	}
@@ -79,21 +105,21 @@ func (m *Model) GobDecode(b []byte) error {
 	for i, lw := range w.Layers {
 		m.layers = append(m.layers, lw.revive())
 		sw := w.SelfW[i]
-		m.selfW = append(m.selfW, &ml.Param{W: sw, G: mat.New(sw.Rows, sw.Cols)})
+		m.selfW = append(m.selfW, &ml.ParamOf[T]{W: sw, G: mat.NewOf[T](sw.Rows, sw.Cols)})
 	}
 	return nil
 }
 
-type gcnWire struct {
+type gcnWire[T mat.Float] struct {
 	Config   Config
 	Classes  int
-	LabelEmb linearWire
-	Layers   []linearWire
+	LabelEmb linearWire[T]
+	Layers   []linearWire[T]
 }
 
 // GobEncode implements gob.GobEncoder for the GCN baseline.
-func (g *GCN) GobEncode() ([]byte, error) {
-	w := gcnWire{Config: g.Config, Classes: g.classes, LabelEmb: wireLinear(g.labelEmb)}
+func (g *GCNOf[T]) GobEncode() ([]byte, error) {
+	w := gcnWire[T]{Config: g.Config, Classes: g.classes, LabelEmb: wireLinear(g.labelEmb)}
 	for _, l := range g.layers {
 		w.Layers = append(w.Layers, wireLinear(l))
 	}
@@ -101,8 +127,8 @@ func (g *GCN) GobEncode() ([]byte, error) {
 }
 
 // GobDecode implements gob.GobDecoder for the GCN baseline.
-func (g *GCN) GobDecode(b []byte) error {
-	var w gcnWire
+func (g *GCNOf[T]) GobDecode(b []byte) error {
+	var w gcnWire[T]
 	if err := gobValue(b, &w); err != nil {
 		return err
 	}
@@ -118,17 +144,17 @@ func (g *GCN) GobDecode(b []byte) error {
 	return nil
 }
 
-type aeWire struct {
+type aeWire[T mat.Float] struct {
 	Config                 AEConfig
 	InDim                  int
 	Trained                bool
-	Enc1, Enc2, Dec1, Dec2 linearWire
+	Enc1, Enc2, Dec1, Dec2 linearWire[T]
 }
 
 // GobEncode implements gob.GobEncoder for an autoencoder (trained or
 // merely initialised; a never-initialised one round-trips as such).
-func (a *Autoencoder) GobEncode() ([]byte, error) {
-	w := aeWire{Config: a.Config, InDim: a.inDim, Trained: a.enc1 != nil}
+func (a *AutoencoderOf[T]) GobEncode() ([]byte, error) {
+	w := aeWire[T]{Config: a.Config, InDim: a.inDim, Trained: a.enc1 != nil}
 	if w.Trained {
 		w.Enc1, w.Enc2 = wireLinear(a.enc1), wireLinear(a.enc2)
 		w.Dec1, w.Dec2 = wireLinear(a.dec1), wireLinear(a.dec2)
@@ -137,8 +163,8 @@ func (a *Autoencoder) GobEncode() ([]byte, error) {
 }
 
 // GobDecode implements gob.GobDecoder for an autoencoder.
-func (a *Autoencoder) GobDecode(b []byte) error {
-	var w aeWire
+func (a *AutoencoderOf[T]) GobDecode(b []byte) error {
+	var w aeWire[T]
 	if err := gobValue(b, &w); err != nil {
 		return err
 	}
@@ -154,18 +180,18 @@ func (a *Autoencoder) GobDecode(b []byte) error {
 	return nil
 }
 
-type encoderSetWire struct {
+type encoderSetWire[T mat.Float] struct {
 	Config  AEConfig
 	Kinds   []graph.NodeKind
-	AEs     []*Autoencoder
+	AEs     []*AutoencoderOf[T]
 	Scalers []*ml.StandardScaler
 }
 
 // GobEncode implements gob.GobEncoder for an encoder set. Kinds are
 // serialised in sorted order so the payload bytes are deterministic
 // (gob's native map encoding follows Go's randomised iteration order).
-func (s *EncoderSet) GobEncode() ([]byte, error) {
-	w := encoderSetWire{Config: s.Config}
+func (s *EncoderSetOf[T]) GobEncode() ([]byte, error) {
+	w := encoderSetWire[T]{Config: s.Config}
 	for kind := range s.AEs {
 		w.Kinds = append(w.Kinds, kind)
 	}
@@ -178,8 +204,8 @@ func (s *EncoderSet) GobEncode() ([]byte, error) {
 }
 
 // GobDecode implements gob.GobDecoder for an encoder set.
-func (s *EncoderSet) GobDecode(b []byte) error {
-	var w encoderSetWire
+func (s *EncoderSetOf[T]) GobDecode(b []byte) error {
+	var w encoderSetWire[T]
 	if err := gobValue(b, &w); err != nil {
 		return err
 	}
@@ -187,7 +213,7 @@ func (s *EncoderSet) GobDecode(b []byte) error {
 		return errors.New("gnn: malformed encoder-set checkpoint payload")
 	}
 	s.Config = w.Config
-	s.AEs = make(map[graph.NodeKind]*Autoencoder, len(w.Kinds))
+	s.AEs = make(map[graph.NodeKind]*AutoencoderOf[T], len(w.Kinds))
 	s.Scalers = make(map[graph.NodeKind]*ml.StandardScaler, len(w.Kinds))
 	for i, kind := range w.Kinds {
 		s.AEs[kind] = w.AEs[i]
@@ -210,44 +236,55 @@ func gobValue(b []byte, out any) error {
 
 // --- file-level save/load over the checksummed envelope ----------------------
 
-// SaveModel atomically writes a SAGE model checkpoint.
-func SaveModel(path string, m *Model) error {
-	return ckpt.SaveGob(path, KindSAGE, VersionSAGE, m)
+// SaveModel atomically writes a SAGE model checkpoint. The envelope kind
+// carries the model's element type, so a float32 model round-trips
+// through its own kind and can never be confused with a float64 one.
+func SaveModel[T mat.Float](path string, m *ModelOf[T]) error {
+	return ckpt.SaveGob(path, kindFor[T](KindSAGE), VersionSAGE, m)
 }
 
-// LoadModel reads a SAGE model checkpoint, verifying kind, version and
-// payload integrity.
-func LoadModel(path string) (*Model, error) {
-	m := &Model{}
-	if err := ckpt.LoadGob(path, KindSAGE, VersionSAGE, m); err != nil {
+// LoadModel reads a float64 SAGE model checkpoint, verifying kind,
+// version and payload integrity.
+func LoadModel(path string) (*Model, error) { return LoadModelOf[float64](path) }
+
+// LoadModelOf reads a SAGE model checkpoint at element type T.
+func LoadModelOf[T mat.Float](path string) (*ModelOf[T], error) {
+	m := &ModelOf[T]{}
+	if err := ckpt.LoadGob(path, kindFor[T](KindSAGE), VersionSAGE, m); err != nil {
 		return nil, err
 	}
 	return m, nil
 }
 
 // SaveGCN atomically writes a GCN model checkpoint.
-func SaveGCN(path string, g *GCN) error {
-	return ckpt.SaveGob(path, KindGCN, VersionGCN, g)
+func SaveGCN[T mat.Float](path string, g *GCNOf[T]) error {
+	return ckpt.SaveGob(path, kindFor[T](KindGCN), VersionGCN, g)
 }
 
-// LoadGCN reads a GCN model checkpoint.
-func LoadGCN(path string) (*GCN, error) {
-	g := &GCN{}
-	if err := ckpt.LoadGob(path, KindGCN, VersionGCN, g); err != nil {
+// LoadGCN reads a float64 GCN model checkpoint.
+func LoadGCN(path string) (*GCN, error) { return LoadGCNOf[float64](path) }
+
+// LoadGCNOf reads a GCN model checkpoint at element type T.
+func LoadGCNOf[T mat.Float](path string) (*GCNOf[T], error) {
+	g := &GCNOf[T]{}
+	if err := ckpt.LoadGob(path, kindFor[T](KindGCN), VersionGCN, g); err != nil {
 		return nil, err
 	}
 	return g, nil
 }
 
 // SaveEncoders atomically writes an (optionally partial) encoder set.
-func SaveEncoders(path string, s *EncoderSet) error {
-	return ckpt.SaveGob(path, KindEncoders, VersionEncoders, s)
+func SaveEncoders[T mat.Float](path string, s *EncoderSetOf[T]) error {
+	return ckpt.SaveGob(path, kindFor[T](KindEncoders), VersionEncoders, s)
 }
 
-// LoadEncoders reads an encoder-set checkpoint.
-func LoadEncoders(path string) (*EncoderSet, error) {
-	s := &EncoderSet{}
-	if err := ckpt.LoadGob(path, KindEncoders, VersionEncoders, s); err != nil {
+// LoadEncoders reads a float64 encoder-set checkpoint.
+func LoadEncoders(path string) (*EncoderSet, error) { return LoadEncodersOf[float64](path) }
+
+// LoadEncodersOf reads an encoder-set checkpoint at element type T.
+func LoadEncodersOf[T mat.Float](path string) (*EncoderSetOf[T], error) {
+	s := &EncoderSetOf[T]{}
+	if err := ckpt.LoadGob(path, kindFor[T](KindEncoders), VersionEncoders, s); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -255,14 +292,17 @@ func LoadEncoders(path string) (*EncoderSet, error) {
 
 // SaveTrainState atomically writes a mid-training checkpoint (weights +
 // optimiser moments + RNG position + epoch index).
-func SaveTrainState(path string, st *TrainState) error {
-	return ckpt.SaveGob(path, KindTrain, VersionTrain, st)
+func SaveTrainState[T mat.Float](path string, st *TrainStateOf[T]) error {
+	return ckpt.SaveGob(path, kindFor[T](KindTrain), VersionTrain, st)
 }
 
-// LoadTrainState reads a mid-training checkpoint.
-func LoadTrainState(path string) (*TrainState, error) {
-	st := &TrainState{}
-	if err := ckpt.LoadGob(path, KindTrain, VersionTrain, st); err != nil {
+// LoadTrainState reads a float64 mid-training checkpoint.
+func LoadTrainState(path string) (*TrainState, error) { return LoadTrainStateOf[float64](path) }
+
+// LoadTrainStateOf reads a mid-training checkpoint at element type T.
+func LoadTrainStateOf[T mat.Float](path string) (*TrainStateOf[T], error) {
+	st := &TrainStateOf[T]{}
+	if err := ckpt.LoadGob(path, kindFor[T](KindTrain), VersionTrain, st); err != nil {
 		return nil, err
 	}
 	return st, nil

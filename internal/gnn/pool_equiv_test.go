@@ -6,6 +6,7 @@ import (
 
 	"trail/internal/graph"
 	"trail/internal/mat"
+	"trail/internal/mat/mattest"
 	"trail/internal/ml"
 )
 
@@ -23,21 +24,13 @@ func withAllocWorkspace(t *testing.T, f func()) {
 	f()
 }
 
-func assertParamsBitIdentical(t *testing.T, name string, got, want []*ml.Param) {
+func assertParamsBitIdentical[T mat.Float](t *testing.T, name string, got, want []*ml.ParamOf[T]) {
 	t.Helper()
 	if len(got) != len(want) {
 		t.Fatalf("%s: %d params vs %d", name, len(got), len(want))
 	}
 	for pi := range want {
-		g, w := got[pi].W, want[pi].W
-		if g.Rows != w.Rows || g.Cols != w.Cols {
-			t.Fatalf("%s: param %d shape %dx%d vs %dx%d", name, pi, g.Rows, g.Cols, w.Rows, w.Cols)
-		}
-		for i := range w.Data {
-			if math.Float64bits(g.Data[i]) != math.Float64bits(w.Data[i]) {
-				t.Fatalf("%s: param %d Data[%d] = %v, want %v", name, pi, i, g.Data[i], w.Data[i])
-			}
-		}
+		mattest.BitEqual(t, name, got[pi].W, want[pi].W)
 	}
 }
 
@@ -111,10 +104,10 @@ func TestAEPooledTrainingMatchesAllocating(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got, want []*ml.Param
-	for _, l := range []*linear{pooled.enc1, pooled.enc2, pooled.dec1, pooled.dec2} {
+	for _, l := range []*linear[float64]{pooled.enc1, pooled.enc2, pooled.dec1, pooled.dec2} {
 		got = append(got, l.params()...)
 	}
-	for _, l := range []*linear{ref.enc1, ref.enc2, ref.dec1, ref.dec2} {
+	for _, l := range []*linear[float64]{ref.enc1, ref.enc2, ref.dec1, ref.dec2} {
 		want = append(want, l.params()...)
 	}
 	assertParamsBitIdentical(t, "AE", got, want)
@@ -142,7 +135,7 @@ func TestForwardInferMatchesTrainingForward(t *testing.T) {
 		scr := newSageScratch(m, len(train))
 		trainActs := m.forward(in, agg, visible, scr.ws, &scr.acts)
 		wantLogits := trainActs.h[len(trainActs.h)-1]
-		gotLogits := m.forwardInfer(in, agg, visible, ws)
+		gotLogits := m.forwardInfer(in, agg, nil, visible, ws)
 		assertBitEqual(t, "forwardInfer logits", gotLogits, wantLogits)
 		ws.Release()
 		scr.ws.Release()

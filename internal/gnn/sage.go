@@ -13,19 +13,21 @@ import (
 	"trail/internal/sparse"
 )
 
-// Input is the full-graph tensor view the GraphSAGE model consumes.
-type Input struct {
+// InputOf is the full-graph tensor view the GraphSAGE model consumes, at
+// element type T. Labels, flags and the adjacency snapshot are
+// precision-free; only the encoded features and the CSR values carry T.
+type InputOf[T mat.Float] struct {
 	// Adj is an adjacency snapshot (graph.Graph.Adjacency), still used
 	// for neighbour sampling and the explainer's subgraph extraction.
 	Adj [][]graph.NodeID
 	// CSR is the same adjacency as a shared CSR snapshot
 	// (graph.Graph.CSR); the message-passing kernels normalise and
 	// multiply it. Optional: when nil it is rebuilt from Adj on demand.
-	CSR *sparse.Matrix
+	CSR *sparse.CSR[T]
 	// Enc holds the autoencoded IOC features, one row per node
 	// (zero rows for events and ASNs, which carry no engineered
 	// features).
-	Enc *mat.Matrix
+	Enc *mat.Dense[T]
 	// IsEvent marks event nodes.
 	IsEvent []bool
 	// Labels carries the APT class per event node (-1 elsewhere). Which
@@ -34,6 +36,27 @@ type Input struct {
 	Labels []int
 	// Classes is the number of APT classes.
 	Classes int
+}
+
+// Input is the float64 reference instantiation of InputOf.
+type Input = InputOf[float64]
+
+// CastInput converts an input between precisions. Precision-free fields
+// (adjacency, flags, labels) are shared, not copied; Enc and the CSR
+// values are converted. Casting to the same precision returns views that
+// share everything, including the CSR's cached operators.
+func CastInput[T, U mat.Float](in InputOf[U]) InputOf[T] {
+	out := InputOf[T]{
+		Adj:     in.Adj,
+		Enc:     mat.Cast[T](in.Enc),
+		IsEvent: in.IsEvent,
+		Labels:  in.Labels,
+		Classes: in.Classes,
+	}
+	if in.CSR != nil {
+		out.CSR = sparse.Cast[T](in.CSR)
+	}
+	return out
 }
 
 // Config configures the GraphSAGE classifier.
@@ -73,21 +96,31 @@ func DefaultConfig(layers int) Config {
 	}
 }
 
-// Model is a trained GraphSAGE attribution model. Each layer combines a
-// neighbour-mean path (Eq. 3) with a root/self path, as in the reference
-// GraphSAGE implementation the paper builds on (PyG SAGEConv computes
-// W1·x_v + W2·mean(x_n)); without the self path, features at odd hop
-// distances could never reach an event on the bipartite event-IOC edges.
-type Model struct {
+// ModelOf is a trained GraphSAGE attribution model at element type T.
+// Each layer combines a neighbour-mean path (Eq. 3) with a root/self
+// path, as in the reference GraphSAGE implementation the paper builds on
+// (PyG SAGEConv computes W1·x_v + W2·mean(x_n)); without the self path,
+// features at odd hop distances could never reach an event on the
+// bipartite event-IOC edges.
+type ModelOf[T mat.Float] struct {
 	Config   Config
 	classes  int
-	labelEmb *linear // one-hot label -> Encoding, for visible event labels
-	layers   []*linear
-	selfW    []*ml.Param
+	labelEmb *linear[T] // one-hot label -> Encoding, for visible event labels
+	layers   []*linear[T]
+	selfW    []*ml.ParamOf[T]
 }
 
-// NewModel initialises weights for the given input width and class count.
-func NewModel(cfg Config, classes int) *Model {
+// Model is the float64 reference instantiation of ModelOf.
+type Model = ModelOf[float64]
+
+// NewModel initialises float64 weights for the given input width and
+// class count.
+func NewModel(cfg Config, classes int) *Model { return NewModelOf[float64](cfg, classes) }
+
+// NewModelOf initialises weights at element type T. The initialisation
+// draws the same RNG sequence at every precision, so a float32 model
+// starts from the rounded float64 weights.
+func NewModelOf[T mat.Float](cfg Config, classes int) *ModelOf[T] {
 	if cfg.Layers < 1 {
 		cfg.Layers = 2
 	}
@@ -104,25 +137,25 @@ func NewModel(cfg Config, classes int) *Model {
 		cfg.Epochs = 30
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	m := &Model{Config: cfg, classes: classes}
-	m.labelEmb = newLinear(rng, classes, cfg.Encoding)
+	m := &ModelOf[T]{Config: cfg, classes: classes}
+	m.labelEmb = newLinear[T](rng, classes, cfg.Encoding)
 	prev := cfg.Encoding
 	for l := 0; l < cfg.Layers; l++ {
 		out := cfg.Hidden
 		if l == cfg.Layers-1 {
 			out = classes
 		}
-		m.layers = append(m.layers, newLinear(rng, prev, out))
-		m.selfW = append(m.selfW, &ml.Param{
-			W: mat.GlorotUniform(rng, prev, out),
-			G: mat.New(prev, out),
+		m.layers = append(m.layers, newLinear[T](rng, prev, out))
+		m.selfW = append(m.selfW, &ml.ParamOf[T]{
+			W: mat.GlorotUniformOf[T](rng, prev, out),
+			G: mat.NewOf[T](prev, out),
 		})
 		prev = out
 	}
 	return m
 }
 
-func (m *Model) params() []*ml.Param {
+func (m *ModelOf[T]) params() []*ml.ParamOf[T] {
 	ps := m.labelEmb.params()
 	for i, l := range m.layers {
 		ps = append(ps, l.params()...)
@@ -137,8 +170,8 @@ func (m *Model) params() []*ml.Param {
 // neighbours), the other half is predicted and optimised. This lets the
 // model learn to exploit neighbour labels without learning to copy its
 // own.
-func Train(in Input, trainEvents []graph.NodeID, cfg Config) (*Model, error) {
-	return TrainCtx(in, trainEvents, cfg, TrainOpts{})
+func Train[T mat.Float](in InputOf[T], trainEvents []graph.NodeID, cfg Config) (*ModelOf[T], error) {
+	return TrainCtx(in, trainEvents, cfg, TrainOptsOf[T]{})
 }
 
 // TrainCtx is Train with crash-safety: a cancellable context, an
@@ -147,19 +180,19 @@ func Train(in Input, trainEvents []graph.NodeID, cfg Config) (*Model, error) {
 // bit-identical to an uninterrupted run. On divergence
 // (*ml.DivergenceError) the returned model carries the lowest-loss
 // epoch's weights — rolled back, never NaN.
-func TrainCtx(in Input, trainEvents []graph.NodeID, cfg Config, opts TrainOpts) (*Model, error) {
+func TrainCtx[T mat.Float](in InputOf[T], trainEvents []graph.NodeID, cfg Config, opts TrainOptsOf[T]) (*ModelOf[T], error) {
 	st, err := opts.resumeFor(archSAGE)
 	if err != nil {
 		return nil, err
 	}
-	var m *Model
+	var m *ModelOf[T]
 	if st != nil {
 		if st.SAGE == nil {
 			return nil, errors.New("gnn: resume state carries no SAGE weights")
 		}
 		m = st.SAGE.CloneModel()
 	} else {
-		m = NewModel(cfg, in.Classes)
+		m = NewModelOf[T](cfg, in.Classes)
 	}
 	if err := m.fit(in, trainEvents, m.Config.Epochs, opts); err != nil {
 		var div *ml.DivergenceError
@@ -173,20 +206,14 @@ func TrainCtx(in Input, trainEvents []graph.NodeID, cfg Config, opts TrainOpts) 
 
 // CloneModel deep-copies the model (weights and config) so one trained
 // model can be frozen while a copy is fine-tuned — the Fig. 8 protocol.
-func (m *Model) CloneModel() *Model {
-	cp := &Model{Config: m.Config, classes: m.classes}
-	cloneLinear := func(l *linear) *linear {
-		return &linear{
-			w: &ml.Param{W: l.w.W.Clone(), G: mat.New(l.w.G.Rows, l.w.G.Cols)},
-			b: &ml.Param{W: l.b.W.Clone(), G: mat.New(l.b.G.Rows, l.b.G.Cols)},
-		}
-	}
+func (m *ModelOf[T]) CloneModel() *ModelOf[T] {
+	cp := &ModelOf[T]{Config: m.Config, classes: m.classes}
 	cp.labelEmb = cloneLinear(m.labelEmb)
 	for i, l := range m.layers {
 		cp.layers = append(cp.layers, cloneLinear(l))
-		cp.selfW = append(cp.selfW, &ml.Param{
+		cp.selfW = append(cp.selfW, &ml.ParamOf[T]{
 			W: m.selfW[i].W.Clone(),
-			G: mat.New(m.selfW[i].G.Rows, m.selfW[i].G.Cols),
+			G: mat.NewOf[T](m.selfW[i].G.Rows, m.selfW[i].G.Cols),
 		})
 	}
 	return cp
@@ -196,52 +223,69 @@ func (m *Model) CloneModel() *Model {
 // for a few epochs — the paper's monthly retraining loop (Fig. 8). It
 // runs at a reduced learning rate so a small month of events refines the
 // model instead of overwriting it.
-func (m *Model) FineTune(in Input, trainEvents []graph.NodeID, epochs int) error {
+func (m *ModelOf[T]) FineTune(in InputOf[T], trainEvents []graph.NodeID, epochs int) error {
 	orig := m.Config.LR
 	m.Config.LR = orig * 0.3
 	defer func() { m.Config.LR = orig }()
-	return m.fit(in, trainEvents, epochs, TrainOpts{})
+	return m.fit(in, trainEvents, epochs, TrainOptsOf[T]{})
 }
 
-// newTrainWorkspace supplies the scratch arena for every fit loop. Tests
-// swap in mat.NewAllocWorkspace to run the identical arithmetic with
-// fresh allocations and assert bit-identical weights (the pooled-vs-
-// allocating equivalence contract).
-var newTrainWorkspace = mat.NewWorkspace
+// newTrainWorkspace supplies the scratch arena for every float64 fit
+// loop; newTrainWorkspace32 is its float32 counterpart. Tests swap in
+// mat.NewAllocWorkspace to run the identical arithmetic with fresh
+// allocations and assert bit-identical weights (the pooled-vs-allocating
+// equivalence contract).
+var (
+	newTrainWorkspace   = mat.NewWorkspace
+	newTrainWorkspace32 = mat.NewWorkspaceOf[float32]
+)
+
+// trainWorkspaceOf dispatches to the per-precision workspace hook.
+// Exotic named Float types get a non-pooled workspace.
+func trainWorkspaceOf[T mat.Float]() *mat.WorkspaceOf[T] {
+	switch any(T(0)).(type) {
+	case float64:
+		return any(newTrainWorkspace()).(*mat.WorkspaceOf[T])
+	case float32:
+		return any(newTrainWorkspace32()).(*mat.WorkspaceOf[T])
+	default:
+		return mat.NewAllocWorkspaceOf[T]()
+	}
+}
 
 // sageScratch carries every buffer the epoch loop reuses: the workspace
 // for matrix scratch, the per-step activation slots, and the small
 // slices (shuffle order, targets, softmax probs, label-gradient buckets)
 // that used to be reallocated per pass.
-type sageScratch struct {
-	ws      *mat.Workspace
-	acts    activations
-	probs   []float64
+type sageScratch[T mat.Float] struct {
+	ws      *mat.WorkspaceOf[T]
+	acts    activations[T]
+	probs   []T
 	order   []int
 	targets []graph.NodeID
 	visible map[graph.NodeID]int
-	lg      labelGradScratch
+	lg      labelGradScratch[T]
 }
 
-func newSageScratch(m *Model, nTrain int) *sageScratch {
+func newSageScratch[T mat.Float](m *ModelOf[T], nTrain int) *sageScratch[T] {
 	L := len(m.layers)
-	return &sageScratch{
-		ws: newTrainWorkspace(),
-		acts: activations{
-			means: make([]*mat.Matrix, L),
-			masks: make([]*mat.Matrix, L),
-			norms: make([][]float64, L),
-			h:     make([]*mat.Matrix, L),
+	return &sageScratch[T]{
+		ws: trainWorkspaceOf[T](),
+		acts: activations[T]{
+			means: make([]*mat.Dense[T], L),
+			masks: make([]*mat.Dense[T], L),
+			norms: make([][]T, L),
+			h:     make([]*mat.Dense[T], L),
 		},
-		probs:   make([]float64, m.classes),
+		probs:   make([]T, m.classes),
 		order:   make([]int, nTrain),
 		targets: make([]graph.NodeID, 0, nTrain),
 		visible: make(map[graph.NodeID]int, nTrain/2+1),
-		lg:      newLabelGradScratch(m.classes, nTrain),
+		lg:      newLabelGradScratch[T](m.classes, nTrain),
 	}
 }
 
-func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int, opts TrainOpts) error {
+func (m *ModelOf[T]) fit(in InputOf[T], trainEvents []graph.NodeID, epochs int, opts TrainOptsOf[T]) error {
 	if len(trainEvents) < 2 {
 		return errors.New("gnn: need at least 2 training events")
 	}
@@ -251,7 +295,7 @@ func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int, opts Train
 	ctx := opts.ctx()
 	src := ml.NewCountingSource(m.Config.Seed + 17)
 	ps := m.params()
-	opt := ml.NewAdam(m.Config.LR, ps)
+	opt := ml.NewAdamOf(m.Config.LR, ps)
 	start := 0
 	if opts.Resume != nil {
 		start = opts.Resume.Epoch
@@ -269,7 +313,7 @@ func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int, opts Train
 		if opts.Checkpoint == nil {
 			return nil
 		}
-		return opts.Checkpoint(&TrainState{
+		return opts.Checkpoint(&TrainStateOf[T]{
 			Arch:  archSAGE,
 			Epoch: completed,
 			RNG:   src.State(),
@@ -286,7 +330,7 @@ func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int, opts Train
 	// NaN weights. The snapshot storage is allocated once and refreshed in
 	// place.
 	bestLoss := math.Inf(1)
-	var bestW []*mat.Matrix
+	var bestW []*mat.Dense[T]
 	rollback := func() {
 		if bestW != nil {
 			ml.RestoreParams(ps, bestW)
@@ -328,7 +372,7 @@ func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int, opts Train
 			}
 			agg := mean
 			if m.Config.MaxNeighbors > 0 {
-				agg = sparse.FromAdj(sampleAdj(rng, in.Adj, m.Config.MaxNeighbors)).MeanNormalized()
+				agg = sparse.Cast[T](sparse.FromAdj(sampleAdj(rng, in.Adj, m.Config.MaxNeighbors))).MeanNormalized()
 			}
 			loss, err := m.step(in, agg, scr, ps, opt, epoch)
 			if err != nil {
@@ -366,7 +410,7 @@ func (m *Model) fit(in Input, trainEvents []graph.NodeID, epochs int, opts Train
 // the mean-aggregation operator for this pass (the shared full-graph
 // operator, or a freshly sampled one). All matrix scratch comes from the
 // scratch workspace, rewound here so every step reuses the same buffers.
-func (m *Model) step(in Input, agg *sparse.Matrix, scr *sageScratch, ps []*ml.Param, opt *ml.Adam, epoch int) (float64, error) {
+func (m *ModelOf[T]) step(in InputOf[T], agg *sparse.CSR[T], scr *sageScratch[T], ps []*ml.ParamOf[T], opt *ml.AdamOf[T], epoch int) (float64, error) {
 	scr.ws.Reset()
 	acts := m.forward(in, agg, scr.visible, scr.ws, &scr.acts)
 	logits := acts.h[len(acts.h)-1]
@@ -385,18 +429,18 @@ func (m *Model) step(in Input, agg *sparse.Matrix, scr *sageScratch, ps []*ml.Pa
 // activations caches the forward pass for backprop. The per-layer slices
 // are sized once per fit; the matrices they point at live in the step
 // workspace and are rewound between steps.
-type activations struct {
-	h0    *mat.Matrix   // input after label embedding
-	means []*mat.Matrix // neighbour means per layer
-	masks []*mat.Matrix // relu masks (nil for final layer)
-	norms [][]float64   // L2 norms before normalisation (nil for final)
-	h     []*mat.Matrix // layer outputs; h[len-1] = logits
+type activations[T mat.Float] struct {
+	h0    *mat.Dense[T]   // input after label embedding
+	means []*mat.Dense[T] // neighbour means per layer
+	masks []*mat.Dense[T] // relu masks (nil for final layer)
+	norms [][]T           // L2 norms before normalisation (nil for final)
+	h     []*mat.Dense[T] // layer outputs; h[len-1] = logits
 }
 
 // forward computes all node representations; visible supplies event
 // labels injected as input features. Scratch buffers are borrowed from
 // ws; acts supplies the per-layer slots to fill.
-func (m *Model) forward(in Input, agg *sparse.Matrix, visible map[graph.NodeID]int, ws *mat.Workspace, acts *activations) *activations {
+func (m *ModelOf[T]) forward(in InputOf[T], agg *sparse.CSR[T], visible map[graph.NodeID]int, ws *mat.WorkspaceOf[T], acts *activations[T]) *activations[T] {
 	n := agg.Rows
 	h0 := ws.GetDirty(in.Enc.Rows, in.Enc.Cols)
 	mat.CopyInto(h0, in.Enc)
@@ -429,15 +473,19 @@ func (m *Model) forward(in Input, agg *sparse.Matrix, visible map[graph.NodeID]i
 		}
 		mask := ws.GetDirty(z.Rows, z.Cols)
 		mat.ReLUMaskInto(z, mask)
-		var norms []float64
+		var norms []T
 		if !m.Config.NoL2 {
 			norms = ws.VecDirty(n)
 			for i := 0; i < n; i++ {
 				row := z.Row(i)
 				nm := mat.Norm2(row)
-				norms[i] = nm
+				norms[i] = T(nm)
 				if nm > 0 {
-					invN := 1 / nm
+					// Matches L2NormalizeRows exactly: the norm accumulates
+					// in float64, the rescale runs in storage precision — so
+					// forwardInfer's fused path stays bit-identical at every
+					// precision.
+					invN := T(1 / nm)
 					for j := range row {
 						row[j] *= invN
 					}
@@ -454,9 +502,9 @@ func (m *Model) forward(in Input, agg *sparse.Matrix, visible map[graph.NodeID]i
 
 // backward propagates grad (w.r.t. the logits) through the network,
 // accumulating parameter gradients.
-func (m *Model) backward(in Input, agg *sparse.Matrix, acts *activations, visible map[graph.NodeID]int, grad *mat.Matrix, scr *sageScratch) {
+func (m *ModelOf[T]) backward(in InputOf[T], agg *sparse.CSR[T], acts *activations[T], visible map[graph.NodeID]int, grad *mat.Dense[T], scr *sageScratch[T]) {
 	ws := scr.ws
-	layerIn := func(li int) *mat.Matrix {
+	layerIn := func(li int) *mat.Dense[T] {
 		if li == 0 {
 			return acts.h0
 		}
@@ -470,6 +518,8 @@ func (m *Model) backward(in Input, agg *sparse.Matrix, acts *activations, visibl
 				// dx = (g - (g.y) y)/||x||, where y is the stored output.
 				// Rows with zero norm stay zero — Get hands out zeroed
 				// buffers, exactly like the fresh matrix this replaced.
+				// The dot product and the per-element chain run in float64
+				// (identical to the pre-generic float64 arithmetic).
 				y := acts.h[li]
 				out := ws.Get(g.Rows, g.Cols)
 				for i := 0; i < g.Rows; i++ {
@@ -478,9 +528,9 @@ func (m *Model) backward(in Input, agg *sparse.Matrix, acts *activations, visibl
 					}
 					gr, yr, or := g.Row(i), y.Row(i), out.Row(i)
 					dot := mat.Dot(gr, yr)
-					invN := 1 / norms[i]
+					invN := 1 / float64(norms[i])
 					for j := range or {
-						or[j] = (gr[j] - dot*yr[j]) * invN
+						or[j] = T((float64(gr[j]) - dot*float64(yr[j])) * invN)
 					}
 				}
 				g = out
@@ -516,21 +566,21 @@ func (m *Model) backward(in Input, agg *sparse.Matrix, acts *activations, visibl
 // is a single serial chain over all events in the same ascending order
 // the unsharded loop used, because a sum that lands in one row has a
 // defining order that must not depend on worker count.
-type labelGradScratch struct {
+type labelGradScratch[T mat.Float] struct {
 	sorted  []graph.NodeID
 	buckets [][]graph.NodeID
 	// Prebound par.For body plus the operands it reads, so the sharded
 	// accumulation allocates nothing per step (see mat's kargs for the
 	// pattern).
-	g    *mat.Matrix
-	emb  *linear
+	g    *mat.Dense[T]
+	emb  *linear[T]
 	body func(lo, hi int)
 }
 
 // newLabelGradScratch sizes the shard buckets for up to nTrain visible
 // events so steady-state accumulation never grows a slice.
-func newLabelGradScratch(classes, nTrain int) labelGradScratch {
-	lg := labelGradScratch{
+func newLabelGradScratch[T mat.Float](classes, nTrain int) labelGradScratch[T] {
+	lg := labelGradScratch[T]{
 		sorted:  make([]graph.NodeID, 0, nTrain),
 		buckets: make([][]graph.NodeID, classes),
 	}
@@ -541,7 +591,7 @@ func newLabelGradScratch(classes, nTrain int) labelGradScratch {
 }
 
 // shardBody accumulates the weight-row shards for classes [lo, hi).
-func (lg *labelGradScratch) shardBody(lo, hi int) {
+func (lg *labelGradScratch[T]) shardBody(lo, hi int) {
 	for c := lo; c < hi; c++ {
 		wg := lg.emb.w.G.Row(c)
 		for _, ev := range lg.buckets[c] {
@@ -550,7 +600,7 @@ func (lg *labelGradScratch) shardBody(lo, hi int) {
 	}
 }
 
-func (lg *labelGradScratch) accumulate(g *mat.Matrix, visible map[graph.NodeID]int, emb *linear, classes int) {
+func (lg *labelGradScratch[T]) accumulate(g *mat.Dense[T], visible map[graph.NodeID]int, emb *linear[T], classes int) {
 	lg.sorted = lg.sorted[:0]
 	for ev := range visible {
 		lg.sorted = append(lg.sorted, ev)
@@ -585,11 +635,11 @@ func (lg *labelGradScratch) accumulate(g *mat.Matrix, visible map[graph.NodeID]i
 // inputCSR returns the input's shared adjacency CSR, rebuilding it from
 // the adjacency lists when the caller did not supply one (tests, ad-hoc
 // inputs). BuildInput always sets it from graph.Graph.CSR().
-func inputCSR(in Input) *sparse.Matrix {
+func inputCSR[T mat.Float](in InputOf[T]) *sparse.CSR[T] {
 	if in.CSR != nil {
 		return in.CSR
 	}
-	return sparse.FromAdj(in.Adj)
+	return sparse.Cast[T](sparse.FromAdj(in.Adj))
 }
 
 // meanOperator builds Eq. 3's neighbour-mean aggregator from the shared
@@ -598,8 +648,21 @@ func inputCSR(in Input) *sparse.Matrix {
 // out[n] += g[v]/deg(v) — is the same operator's transpose kernel. The
 // operator is cached on the CSR snapshot, so repeated training and
 // prediction calls share one.
-func meanOperator(in Input) *sparse.Matrix {
+func meanOperator[T mat.Float](in InputOf[T]) *sparse.CSR[T] {
 	return inputCSR(in).MeanNormalized()
+}
+
+// inferOperator is meanOperator over the cache-reordered adjacency
+// snapshot: large graphs are relabelled degree-descending
+// (sparse.Reordered) so the hub rows that dominate SpMM touch a compact
+// prefix of the activation matrix. The returned permutation is nil when
+// the graph is below the reorder threshold or already degree-sorted;
+// otherwise callers gather inputs and map node IDs through it.
+// Normalising after permuting equals permuting the normalised operator
+// bit-for-bit (sparse's commute test), so results are unchanged.
+func inferOperator[T mat.Float](in InputOf[T]) (*sparse.CSR[T], *sparse.Permutation) {
+	rs, p := inputCSR(in).Reordered()
+	return rs.MeanNormalized(), p
 }
 
 // sampleAdj caps each node's neighbour list at k by sampling without
@@ -629,14 +692,26 @@ func sampleAdj(rng *rand.Rand, adj [][]graph.NodeID, k int) [][]graph.NodeID {
 // (sparse.SAGELayerInto), so no neighbour-mean matrix, ReLU mask or norm
 // vector is ever materialised. Logits are bit-identical to the training
 // forward's (asserted by the equivalence tests); the returned matrix
-// lives in ws.
-func (m *Model) forwardInfer(in Input, agg *sparse.Matrix, visible map[graph.NodeID]int, ws *mat.Workspace) *mat.Matrix {
+// lives in ws. When perm is non-nil the pass runs in the permuted vertex
+// order (inputs gathered, visible labels remapped); callers read row
+// perm.Inv[q] for original node q. Every per-layer operation is
+// row-local, so permuted row r equals unpermuted row perm.Perm[r] bit
+// for bit.
+func (m *ModelOf[T]) forwardInfer(in InputOf[T], agg *sparse.CSR[T], perm *sparse.Permutation, visible map[graph.NodeID]int, ws *mat.WorkspaceOf[T]) *mat.Dense[T] {
 	n := agg.Rows
 	cur := ws.GetDirty(in.Enc.Rows, in.Enc.Cols)
-	mat.CopyInto(cur, in.Enc)
+	if perm != nil {
+		sparse.GatherRowsInto(perm, cur, in.Enc)
+	} else {
+		mat.CopyInto(cur, in.Enc)
+	}
 	for ev, c := range visible {
 		if c >= 0 && c < m.classes {
-			row := cur.Row(int(ev))
+			r := int(ev)
+			if perm != nil {
+				r = int(perm.Inv[ev])
+			}
+			row := cur.Row(r)
 			mat.Axpy(1, m.labelEmb.w.W.Row(c), row)
 			mat.Axpy(1, m.labelEmb.b.W.Row(0), row)
 		}
@@ -659,29 +734,40 @@ func (m *Model) forwardInfer(in Input, agg *sparse.Matrix, visible map[graph.Nod
 	return cur
 }
 
+// queryRow maps an original node ID to its logits row under an optional
+// permutation.
+func queryRow(perm *sparse.Permutation, q graph.NodeID) int {
+	if perm != nil {
+		return int(perm.Inv[q])
+	}
+	return int(q)
+}
+
 // PredictProba returns attribution distributions for the query events,
 // with the given event labels visible as input features.
-func (m *Model) PredictProba(in Input, visible map[graph.NodeID]int, queries []graph.NodeID) *mat.Matrix {
-	ws := mat.NewWorkspace()
+func (m *ModelOf[T]) PredictProba(in InputOf[T], visible map[graph.NodeID]int, queries []graph.NodeID) *mat.Dense[T] {
+	ws := mat.NewWorkspaceOf[T]()
 	defer ws.Release()
-	logits := m.forwardInfer(in, meanOperator(in), visible, ws)
-	out := mat.New(len(queries), m.classes)
+	agg, perm := inferOperator(in)
+	logits := m.forwardInfer(in, agg, perm, visible, ws)
+	out := mat.NewOf[T](len(queries), m.classes)
 	for i, q := range queries {
-		mat.Softmax(out.Row(i), logits.Row(int(q)))
+		mat.Softmax(out.Row(i), logits.Row(queryRow(perm, q)))
 	}
 	return out
 }
 
 // Predict returns the argmax attribution per query event. The softmax
 // scratch is pooled: only the returned slice is allocated.
-func (m *Model) Predict(in Input, visible map[graph.NodeID]int, queries []graph.NodeID) []int {
-	ws := mat.NewWorkspace()
+func (m *ModelOf[T]) Predict(in InputOf[T], visible map[graph.NodeID]int, queries []graph.NodeID) []int {
+	ws := mat.NewWorkspaceOf[T]()
 	defer ws.Release()
-	logits := m.forwardInfer(in, meanOperator(in), visible, ws)
+	agg, perm := inferOperator(in)
+	logits := m.forwardInfer(in, agg, perm, visible, ws)
 	probs := ws.VecDirty(m.classes)
 	out := make([]int, len(queries))
 	for i, q := range queries {
-		mat.Softmax(probs, logits.Row(int(q)))
+		mat.Softmax(probs, logits.Row(queryRow(perm, q)))
 		out[i] = mat.Argmax(probs)
 	}
 	return out
@@ -689,18 +775,19 @@ func (m *Model) Predict(in Input, visible map[graph.NodeID]int, queries []graph.
 
 // Confidence returns the max-probability score per query (used by the
 // case study's thresholding discussion).
-func (m *Model) Confidence(in Input, visible map[graph.NodeID]int, queries []graph.NodeID) []float64 {
-	ws := mat.NewWorkspace()
+func (m *ModelOf[T]) Confidence(in InputOf[T], visible map[graph.NodeID]int, queries []graph.NodeID) []float64 {
+	ws := mat.NewWorkspaceOf[T]()
 	defer ws.Release()
-	logits := m.forwardInfer(in, meanOperator(in), visible, ws)
+	agg, perm := inferOperator(in)
+	logits := m.forwardInfer(in, agg, perm, visible, ws)
 	probs := ws.VecDirty(m.classes)
 	out := make([]float64, len(queries))
 	for i, q := range queries {
-		mat.Softmax(probs, logits.Row(int(q)))
+		mat.Softmax(probs, logits.Row(queryRow(perm, q)))
 		best := math.Inf(-1)
 		for _, v := range probs {
-			if v > best {
-				best = v
+			if f := float64(v); f > best {
+				best = f
 			}
 		}
 		out[i] = best

@@ -7,6 +7,7 @@ import (
 
 	"trail/internal/graph"
 	"trail/internal/mat"
+	"trail/internal/mat/mattest"
 	"trail/internal/par"
 	"trail/internal/sparse"
 )
@@ -89,16 +90,11 @@ func randUndirectedAdj(rng *rand.Rand, n, edges int) [][]graph.NodeID {
 	return adj
 }
 
+// assertBitEqual delegates to the shared comparator; kept as a local
+// name because nearly every equivalence test in this package calls it.
 func assertBitEqual(t *testing.T, name string, got, want *mat.Matrix) {
 	t.Helper()
-	if got.Rows != want.Rows || got.Cols != want.Cols {
-		t.Fatalf("%s: shape (%d,%d) vs (%d,%d)", name, got.Rows, got.Cols, want.Rows, want.Cols)
-	}
-	for i := range want.Data {
-		if got.Data[i] != want.Data[i] {
-			t.Fatalf("%s: element %d differs bitwise: %v vs %v", name, i, got.Data[i], want.Data[i])
-		}
-	}
+	mattest.BitEqual(t, name, got, want)
 }
 
 // TestAggregationKernelsMatchReferenceBitIdentical pins the CSR-based

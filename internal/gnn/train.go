@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"trail/internal/mat"
 	"trail/internal/ml"
 )
 
@@ -14,12 +15,15 @@ const (
 	archGCN  = "gcn"
 )
 
-// TrainState is the epoch-boundary checkpoint of a (possibly
-// interrupted) training run: the weights, the optimiser moments, and the
-// RNG stream position. Restoring all three and re-running the remaining
-// epochs produces final weights bit-identical to an uninterrupted run —
-// the property the resume tests assert.
-type TrainState struct {
+// TrainStateOf is the epoch-boundary checkpoint of a (possibly
+// interrupted) training run at element type T: the weights, the
+// optimiser moments, and the RNG stream position. Restoring all three
+// and re-running the remaining epochs produces final weights
+// bit-identical to an uninterrupted run — the property the resume tests
+// assert. The precision is part of the checkpoint's identity: float32
+// states persist under a dtype-suffixed kind (see persist.go), so a
+// float32 checkpoint can never silently resume a float64 run.
+type TrainStateOf[T mat.Float] struct {
 	// Arch is archSAGE or archGCN.
 	Arch string
 	// Epoch is the number of completed epochs.
@@ -27,17 +31,20 @@ type TrainState struct {
 	// RNG is the position of the shuffle/sampling stream.
 	RNG ml.RNGState
 	// Opt is the Adam optimiser state (step count + both moments).
-	Opt ml.AdamState
+	Opt ml.AdamStateOf[T]
 	// SAGE holds the model weights when Arch == archSAGE.
-	SAGE *Model
+	SAGE *ModelOf[T]
 	// GCN holds the model weights when Arch == archGCN.
-	GCN *GCN
+	GCN *GCNOf[T]
 }
 
-// TrainOpts carries the crash-safety knobs threaded through Train,
+// TrainState is the float64 reference instantiation of TrainStateOf.
+type TrainState = TrainStateOf[float64]
+
+// TrainOptsOf carries the crash-safety knobs threaded through Train,
 // TrainGCN and their fit loops. The zero value trains exactly like the
 // pre-checkpoint code path.
-type TrainOpts struct {
+type TrainOptsOf[T mat.Float] struct {
 	// Ctx, when non-nil, cancels training at the next epoch boundary.
 	// Before returning ctx.Err() the loop emits one final checkpoint
 	// through Checkpoint, so a SIGINT-driven cancellation always leaves a
@@ -46,23 +53,26 @@ type TrainOpts struct {
 	// Checkpoint, when non-nil, receives a deep-copied TrainState after
 	// every CheckpointEvery-th epoch and at cancellation. Returning an
 	// error aborts training with that error.
-	Checkpoint func(*TrainState) error
+	Checkpoint func(*TrainStateOf[T]) error
 	// CheckpointEvery is the epoch stride between Checkpoint calls
 	// (values < 1 mean every epoch).
 	CheckpointEvery int
 	// Resume restarts training from a checkpointed state instead of a
 	// fresh initialisation.
-	Resume *TrainState
+	Resume *TrainStateOf[T]
 }
 
-func (o TrainOpts) ctx() context.Context {
+// TrainOpts is the float64 reference instantiation of TrainOptsOf.
+type TrainOpts = TrainOptsOf[float64]
+
+func (o TrainOptsOf[T]) ctx() context.Context {
 	if o.Ctx != nil {
 		return o.Ctx
 	}
 	return context.Background()
 }
 
-func (o TrainOpts) every() int {
+func (o TrainOptsOf[T]) every() int {
 	if o.CheckpointEvery < 1 {
 		return 1
 	}
@@ -71,7 +81,7 @@ func (o TrainOpts) every() int {
 
 // resumeFor validates that a resume state matches the trainer consuming
 // it.
-func (o TrainOpts) resumeFor(arch string) (*TrainState, error) {
+func (o TrainOptsOf[T]) resumeFor(arch string) (*TrainStateOf[T], error) {
 	if o.Resume == nil {
 		return nil, nil
 	}

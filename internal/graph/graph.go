@@ -404,6 +404,18 @@ func (g *Graph) CSR() *sparse.Matrix {
 	return g.csr
 }
 
+// CSRReordered returns the snapshot's cache-aware degree-descending view
+// together with the vertex permutation mapping it back to original IDs
+// (nil when the snapshot is small enough to skip reordering — see
+// sparse.ReorderMinRows). The permuted view and its normalisation caches
+// are built once per snapshot and shared, exactly like CSR itself;
+// consumers that run row-local kernels (label propagation, GNN
+// inference) execute in permuted space and scatter results back, which
+// is bit-identical to running unpermuted.
+func (g *Graph) CSRReordered() (*sparse.Matrix, *sparse.Permutation) {
+	return g.CSR().Reordered()
+}
+
 // SortedNeighborKeys returns the keys of id's neighbours sorted
 // lexicographically; useful for deterministic test assertions and debug
 // rendering.

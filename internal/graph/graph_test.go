@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"trail/internal/sparse"
 )
 
 func buildSmall(t *testing.T) *Graph {
@@ -319,5 +321,71 @@ func TestCSRMatchesAdjacencyAndCaches(t *testing.T) {
 	}
 	if csr2.Rows != g.NumNodes() || csr2.NNZ() != csr.NNZ()+2 {
 		t.Fatalf("stale CSR after mutation: %d rows nnz %d", csr2.Rows, csr2.NNZ())
+	}
+}
+
+// TestCSRReordered pins the snapshot-level reordering hook: below the
+// gate it runs unpermuted, above it the permuted view round-trips every
+// vertex through Perm/Inv and is cached alongside the CSR snapshot.
+func TestCSRReordered(t *testing.T) {
+	g := New()
+	const n = 64
+	for i := 0; i < n; i++ {
+		g.Upsert(KindIP, fmt.Sprintf("10.0.0.%d", i))
+	}
+	// Star around vertex 0 plus a sprinkling of chain edges, so the
+	// degree order is not the insertion order.
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, NodeID(i), EdgeInReport)
+	}
+	for i := 5; i+1 < n; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1), EdgeInReport)
+	}
+
+	orig := sparse.ReorderMinRows
+	defer func() { sparse.ReorderMinRows = orig }()
+
+	sparse.ReorderMinRows = n + 1
+	if rs, p := g.CSRReordered(); p != nil || rs != g.CSR() {
+		t.Fatal("small snapshot should skip reordering")
+	}
+
+	sparse.ReorderMinRows = 1
+	g2 := New() // fresh graph: the reordered view is cached per snapshot
+	for i := 0; i < n; i++ {
+		g2.Upsert(KindIP, fmt.Sprintf("10.0.0.%d", i))
+	}
+	for i := 1; i < n; i++ {
+		g2.AddEdge(0, NodeID(i), EdgeInReport)
+	}
+	for i := 5; i+1 < n; i++ {
+		g2.AddEdge(NodeID(i), NodeID(i+1), EdgeInReport)
+	}
+	rs, p := g2.CSRReordered()
+	if p == nil {
+		t.Fatal("large snapshot should reorder")
+	}
+	csr := g2.CSR()
+	if rs.NNZ() != csr.NNZ() {
+		t.Fatalf("reordered NNZ %d, want %d", rs.NNZ(), csr.NNZ())
+	}
+	for old := 0; old < n; old++ {
+		nw := p.Inv[old]
+		if int(p.Perm[nw]) != old {
+			t.Fatalf("Perm/Inv mismatch at vertex %d", old)
+		}
+		if rs.RowPtr[nw+1]-rs.RowPtr[int(nw)] != csr.RowPtr[old+1]-csr.RowPtr[old] {
+			t.Fatalf("vertex %d degree changed under permutation", old)
+		}
+	}
+	// Degree-descending: permuted row degrees are non-increasing.
+	for r := 1; r < n; r++ {
+		if rs.RowPtr[r+1]-rs.RowPtr[r] > rs.RowPtr[r]-rs.RowPtr[r-1] {
+			t.Fatalf("row %d out of degree order", r)
+		}
+	}
+	rs2, p2 := g2.CSRReordered()
+	if rs2 != rs || p2 != p {
+		t.Fatal("reordered view not cached on the snapshot")
 	}
 }

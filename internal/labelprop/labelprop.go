@@ -47,26 +47,50 @@ func PropagateCSR(a *sparse.Matrix, seeds map[graph.NodeID]int, classes, layers 
 // dst (a.Rows × classes, overwritten), for sweeps that rerun propagation
 // over one snapshot: the two iteration buffers are borrowed from the
 // shared pool, so repeated calls allocate nothing.
+//
+// On large snapshots the iteration runs in the cache-aware
+// degree-descending vertex order (sparse.CSR.Reordered): seeds are
+// placed at their permuted rows, every SpMM gathers hub rows from a
+// cache-resident prefix, and the accumulated mass is scattered back so
+// dst is always in original vertex order. Permuting commutes bitwise
+// with the symmetric normalisation and SpMM is row-local, so the result
+// is bit-identical to the unpermuted iteration.
 func PropagateCSRInto(dst *mat.Matrix, a *sparse.Matrix, seeds map[graph.NodeID]int, classes, layers int) {
 	n := a.Rows
 	if dst.Rows != n || dst.Cols != classes {
 		panic("labelprop: PropagateCSRInto dst shape mismatch")
 	}
-	s := a.SymNormalized()
+	ra, perm := a.Reordered()
+	s := ra.SymNormalized()
 	// f must start zeroed (seeding writes only the seed entries); next is
 	// fully overwritten by the first SpMM, so it can skip the memset.
 	f := mat.GetBuf(n, classes)
 	next := mat.GetBufDirty(n, classes)
+	seedRow := func(id graph.NodeID) int {
+		if perm != nil {
+			return int(perm.Inv[id])
+		}
+		return int(id)
+	}
 	for id, c := range seeds {
 		if c >= 0 && c < classes {
-			f.Set(int(id), c, 1)
+			f.Set(seedRow(id), c, 1)
 		}
 	}
-	dst.Zero()
+	acc := dst
+	if perm != nil {
+		// Accumulate in permuted space, scatter once at the end.
+		acc = mat.GetBufDirty(n, classes)
+	}
+	acc.Zero()
 	for l := 0; l < layers; l++ {
 		s.SpMM(next, f)
 		f, next = next, f
-		mat.AddInPlace(dst, f)
+		mat.AddInPlace(acc, f)
+	}
+	if perm != nil {
+		sparse.ScatterRowsInto(perm, dst, acc)
+		mat.PutBuf(acc)
 	}
 	mat.PutBuf(f)
 	mat.PutBuf(next)

@@ -227,6 +227,69 @@ func TestPropagateCSRIntoMatchesPropagateCSR(t *testing.T) {
 	PropagateCSRInto(mat.New(a.Rows-1, 2), a, seeds, 2, 4)
 }
 
+// TestPropagateReorderedBitIdentical forces the cache-aware
+// degree-descending reordering onto a small fixture (by lowering
+// sparse.ReorderMinRows) and checks the permuted-space iteration against
+// the unpermuted one bit for bit, serial and parallel. Two fresh CSRs
+// are built because the reordered view is cached per snapshot.
+func TestPropagateReorderedBitIdentical(t *testing.T) {
+	g := graph.New()
+	const n = 400
+	for i := 0; i < n; i++ {
+		g.Upsert(graph.KindIP, fmt.Sprintf("ip%d", i))
+	}
+	rng := rand.New(rand.NewSource(7))
+	// Hub-heavy wiring: a few vertices collect most edges, as on the TKG.
+	for e := 0; e < 1500; e++ {
+		hub := graph.NodeID(rng.Intn(20))
+		g.AddEdge(hub, graph.NodeID(rng.Intn(n)), graph.EdgeInReport)
+	}
+	adj := g.Adjacency()
+	seeds := map[graph.NodeID]int{}
+	for i := 0; i < 30; i++ {
+		seeds[graph.NodeID(rng.Intn(n))] = rng.Intn(6)
+	}
+	queries := make([]graph.NodeID, 0, 50)
+	for len(queries) < 50 {
+		queries = append(queries, graph.NodeID(rng.Intn(n)))
+	}
+
+	orig := sparse.ReorderMinRows
+	defer func() { sparse.ReorderMinRows = orig }()
+
+	sparse.ReorderMinRows = n + 1 // reordering off
+	plain := sparse.FromAdj(adj)
+	if _, p := plain.Reordered(); p != nil {
+		t.Fatal("reordering unexpectedly active on the reference CSR")
+	}
+	want := PropagateCSR(plain, seeds, 6, 4)
+	wantPreds := AttributeCSR(plain, seeds, queries, 6, 4)
+
+	sparse.ReorderMinRows = 1 // reordering forced
+	reord := sparse.FromAdj(adj)
+	if _, p := reord.Reordered(); p == nil {
+		t.Fatal("reordering not active on the permuted CSR")
+	}
+	for _, workers := range []int{1, 8} {
+		prev := par.SetWorkers(workers)
+		got := PropagateCSR(reord, seeds, 6, 4)
+		gotPreds := AttributeCSR(reord, seeds, queries, 6, 4)
+		par.SetWorkers(prev)
+		for i := range want.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+				t.Fatalf("workers=%d: reordered propagation differs at %d: %v vs %v",
+					workers, i, got.Data[i], want.Data[i])
+			}
+		}
+		for i := range wantPreds {
+			if gotPreds[i] != wantPreds[i] {
+				t.Fatalf("workers=%d: reordered prediction %d: %d vs %d",
+					workers, i, gotPreds[i], wantPreds[i])
+			}
+		}
+	}
+}
+
 // TestAttributeCSRMatchesAttribute pins the pooled end-to-end path to
 // the allocating one.
 func TestAttributeCSRMatchesAttribute(t *testing.T) {

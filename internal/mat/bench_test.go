@@ -115,3 +115,31 @@ func BenchmarkPoolGetPut(b *testing.B) {
 		p.Put(p.GetDirty(64, 64))
 	}
 }
+
+// Float32 counterparts of the headline kernels, for the precision
+// bandwidth table in EXPERIMENTS.md: same shapes, half the bytes per
+// element.
+
+func BenchmarkMatMulInto32(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(1))
+	a, x := benchPair(rng, 128)
+	a32, x32 := Cast[float32](a), Cast[float32](x)
+	dst := NewOf[float32](128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, a32, x32)
+	}
+}
+
+func BenchmarkMatMulTransBInto32(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(3))
+	a, x := benchPair(rng, 128)
+	a32, x32 := Cast[float32](a), Cast[float32](x)
+	dst := NewOf[float32](128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransBInto(dst, a32, x32)
+	}
+}

@@ -15,7 +15,7 @@ import (
 // every row. When mask is non-nil it must have x's shape and receives
 // the ReLU mask (1 where the biased value was positive, 0 elsewhere)
 // for backprop. It fuses AddRowVector + reluForward without the clone.
-func AddBiasReLUInto(x *Matrix, bias []float64, mask *Matrix) {
+func AddBiasReLUInto[T Float](x *Dense[T], bias []T, mask *Dense[T]) {
 	if len(bias) != x.Cols {
 		panic(fmt.Sprintf("mat: AddBiasReLUInto bias length %d != %d", len(bias), x.Cols))
 	}
@@ -24,7 +24,7 @@ func AddBiasReLUInto(x *Matrix, bias []float64, mask *Matrix) {
 	}
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
-		var mrow []float64
+		var mrow []T
 		if mask != nil {
 			mrow = mask.Row(i)
 		}
@@ -47,7 +47,7 @@ func AddBiasReLUInto(x *Matrix, bias []float64, mask *Matrix) {
 
 // ReLUMaskInto applies x = relu(x) in place and writes the backprop mask
 // (which must have x's shape) — reluForward without the clone.
-func ReLUMaskInto(x, mask *Matrix) {
+func ReLUMaskInto[T Float](x, mask *Dense[T]) {
 	checkSameShape("ReLUMaskInto", x, mask)
 	for i, v := range x.Data {
 		if v <= 0 {
@@ -60,7 +60,7 @@ func ReLUMaskInto(x, mask *Matrix) {
 }
 
 // HadamardInPlace multiplies a by b element-wise in place and returns a.
-func HadamardInPlace(a, b *Matrix) *Matrix {
+func HadamardInPlace[T Float](a, b *Dense[T]) *Dense[T] {
 	checkSameShape("HadamardInPlace", a, b)
 	for i, v := range b.Data {
 		a.Data[i] *= v
@@ -69,7 +69,7 @@ func HadamardInPlace(a, b *Matrix) *Matrix {
 }
 
 // SubInPlace subtracts b from a element-wise in place and returns a.
-func SubInPlace(a, b *Matrix) *Matrix {
+func SubInPlace[T Float](a, b *Dense[T]) *Dense[T] {
 	checkSameShape("SubInPlace", a, b)
 	for i, v := range b.Data {
 		a.Data[i] -= v
@@ -78,7 +78,7 @@ func SubInPlace(a, b *Matrix) *Matrix {
 }
 
 // CopyInto copies src into dst (shapes must match) and returns dst.
-func CopyInto(dst, src *Matrix) *Matrix {
+func CopyInto[T Float](dst, src *Dense[T]) *Dense[T] {
 	checkSameShape("CopyInto", dst, src)
 	copy(dst.Data, src.Data)
 	return dst
@@ -86,7 +86,7 @@ func CopyInto(dst, src *Matrix) *Matrix {
 
 // SelectRowsInto writes the given rows of m into dst, in order. dst must
 // be len(idx) x m.Cols; indices may repeat.
-func SelectRowsInto(dst, m *Matrix, idx []int) *Matrix {
+func SelectRowsInto[T Float](dst, m *Dense[T], idx []int) *Dense[T] {
 	if dst.Rows != len(idx) || dst.Cols != m.Cols {
 		panic(fmt.Sprintf("mat: SelectRowsInto %dx%d for %d rows of width %d",
 			dst.Rows, dst.Cols, len(idx), m.Cols))
@@ -103,12 +103,13 @@ func SelectRowsInto(dst, m *Matrix, idx []int) *Matrix {
 // writes (softmax(logits[r]) - onehot(labels[r])) / len(rows) into
 // grad[r] and accumulates -log p[labels[r]]. Rows not listed are left
 // untouched (the caller supplies a zeroed grad). probs is a
-// len == logits.Cols scratch slice. Returns the mean loss over rows.
+// len == logits.Cols scratch slice. Returns the mean loss over rows; the
+// loss accumulates in float64 at either storage precision.
 //
 // The arithmetic — softmax, the 1e-300 log floor, the copy-subtract-
 // scale gradient order — is exactly the loop it replaces in the SAGE and
 // GCN step functions, preserving bit-identical training.
-func SoftmaxCrossEntropyInto[T ~int | ~int32](grad, logits *Matrix, rows []T, labels []int, probs []float64) float64 {
+func SoftmaxCrossEntropyInto[F Float, T ~int | ~int32](grad, logits *Dense[F], rows []T, labels []int, probs []F) float64 {
 	checkSameShape("SoftmaxCrossEntropyInto", grad, logits)
 	if len(probs) != logits.Cols {
 		panic(fmt.Sprintf("mat: SoftmaxCrossEntropyInto probs length %d != %d", len(probs), logits.Cols))
@@ -117,16 +118,17 @@ func SoftmaxCrossEntropyInto[T ~int | ~int32](grad, logits *Matrix, rows []T, la
 		return 0
 	}
 	inv := 1 / float64(len(rows))
+	invF := F(inv)
 	loss := 0.0
 	for _, r := range rows {
 		Softmax(probs, logits.Row(int(r)))
 		label := labels[int(r)]
-		loss -= math.Log(probs[label] + 1e-300)
+		loss -= math.Log(float64(probs[label]) + 1e-300)
 		dst := grad.Row(int(r))
 		copy(dst, probs)
 		dst[label] -= 1
 		for j := range dst {
-			dst[j] *= inv
+			dst[j] *= invF
 		}
 	}
 	return loss * inv

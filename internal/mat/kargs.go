@@ -14,31 +14,79 @@ import "sync"
 // The bodies are byte-for-byte the loops the closures used to hold, so
 // the determinism contract (blocks own output rows, fixed accumulation
 // order per row) is unchanged.
-type kargs struct {
-	dst, a, b  *Matrix
+//
+// The carrier is generic; one pool per concrete element type (float32,
+// float64) keeps Get/Put monomorphic. Exotic named Float types fall back
+// to a fresh carrier per call — only the two canonical precisions are on
+// the zero-allocation hot path.
+type kargs[T Float] struct {
+	dst, a, b  *Dense[T]
 	mm, ta, tb func(lo, hi int)
 }
 
-var kargsPool = sync.Pool{New: func() any {
-	k := &kargs{}
+func newKargs[T Float]() *kargs[T] {
+	k := &kargs[T]{}
 	k.mm = k.runMatMul
 	k.ta = k.runTransA
 	k.tb = k.runTransB
 	return k
-}}
+}
 
-func getKargs(dst, a, b *Matrix) *kargs {
-	k := kargsPool.Get().(*kargs)
+var (
+	kargsPool64 = sync.Pool{New: func() any { return newKargs[float64]() }}
+	kargsPool32 = sync.Pool{New: func() any { return newKargs[float32]() }}
+)
+
+// kargsPoolFor returns the pool holding *kargs[T] carriers, or nil when T
+// is not one of the two canonical element types.
+func kargsPoolFor[T Float]() *sync.Pool {
+	switch any(T(0)).(type) {
+	case float64:
+		return &kargsPool64
+	case float32:
+		return &kargsPool32
+	}
+	return nil
+}
+
+func getKargs[T Float](dst, a, b *Dense[T]) *kargs[T] {
+	var k *kargs[T]
+	if p := kargsPoolFor[T](); p != nil {
+		k = p.Get().(*kargs[T])
+	} else {
+		k = newKargs[T]()
+	}
 	k.dst, k.a, k.b = dst, a, b
 	return k
 }
 
 // put clears the operand pointers (so the pool pins no matrices) and
 // recycles the carrier.
-func (k *kargs) put() {
+func (k *kargs[T]) put() {
 	k.dst, k.a, k.b = nil, nil, nil
-	kargsPool.Put(k)
+	if p := kargsPoolFor[T](); p != nil {
+		p.Put(k)
+	}
 }
+
+// Cache-blocked k-tiling for runMatMul. The ikj loop streams all of b
+// once per output row; when b outgrows the cache that is a full memory
+// sweep per row. Above matmulTileMinElems the k loop is split into tiles
+// of ~matmulTileElems elements of b (≈32 KiB at float64, 16 KiB at
+// float32, comfortably L1-resident), and each tile is applied to every
+// output row of the block before moving on — b traffic drops from
+// rows×|b| to |b| per block. Tiles are visited in ascending k order and
+// every output element still accumulates in ascending k order from a
+// zeroed row, so the tiled result is bit-identical to the untiled loop
+// (pinned by TestMatMulTiledMatchesUntiled).
+const (
+	matmulTileElems    = 4096
+	matmulTileMinElems = 32768
+	// matmulTileMinRows is the minimum rows-per-block MatMulInto hands a
+	// parallel block on the tiled path, so each L1-sized b tile is reused
+	// across several output rows.
+	matmulTileMinRows = 8
+)
 
 // The bodies hoist the carrier fields into locals first: a closure's
 // captured variables live in registers, while repeated k.a/k.dst loads
@@ -47,8 +95,43 @@ func (k *kargs) put() {
 
 // runMatMul is the MatMulInto block body: dst = a*b over output rows
 // [lo, hi), ikj order with zero-skip.
-func (k *kargs) runMatMul(lo, hi int) {
+func (k *kargs[T]) runMatMul(lo, hi int) {
 	a, b, dst := k.a, k.b, k.dst
+	if kdim := a.Cols; len(b.Data) >= matmulTileMinElems && hi-lo > 1 {
+		kTile := matmulTileElems / b.Cols
+		if kTile < 8 {
+			kTile = 8
+		}
+		if kTile < kdim {
+			for i := lo; i < hi; i++ {
+				drow := dst.Row(i)
+				for j := range drow {
+					drow[j] = 0
+				}
+			}
+			for k0 := 0; k0 < kdim; k0 += kTile {
+				k1 := k0 + kTile
+				if k1 > kdim {
+					k1 = kdim
+				}
+				for i := lo; i < hi; i++ {
+					arow := a.Row(i)
+					drow := dst.Row(i)
+					for kk := k0; kk < k1; kk++ {
+						av := arow[kk]
+						if av == 0 {
+							continue
+						}
+						brow := b.Row(kk)
+						for j, bv := range brow {
+							drow[j] += av * bv
+						}
+					}
+				}
+			}
+			return
+		}
+	}
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
@@ -69,13 +152,13 @@ func (k *kargs) runMatMul(lo, hi int) {
 
 // runTransB is the MatMulTransBInto block body: dst = a*bᵀ over output
 // rows [lo, hi).
-func (k *kargs) runTransB(lo, hi int) {
+func (k *kargs[T]) runTransB(lo, hi int) {
 	a, b, dst := k.a, k.b, k.dst
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := dst.Row(i)
 		for j := 0; j < b.Rows; j++ {
-			orow[j] = Dot(arow, b.Row(j))
+			orow[j] = T(Dot(arow, b.Row(j)))
 		}
 	}
 }
@@ -83,7 +166,7 @@ func (k *kargs) runTransB(lo, hi int) {
 // runTransA is the MatMulTransAInto block body: dst = aᵀ*b over output
 // rows (columns of a) [lo, hi); the k-accumulation order per output
 // element matches the serial loop exactly.
-func (k *kargs) runTransA(lo, hi int) {
+func (k *kargs[T]) runTransA(lo, hi int) {
 	a, b, dst := k.a, k.b, k.dst
 	for i := lo; i < hi; i++ {
 		drow := dst.Row(i)

@@ -124,7 +124,7 @@ func TestL2NormalizeRows(t *testing.T) {
 }
 
 func TestArgmaxAndOneHot(t *testing.T) {
-	if Argmax(nil) != -1 {
+	if Argmax[float64](nil) != -1 {
 		t.Fatal("Argmax(nil) != -1")
 	}
 	if Argmax([]float64{1, 3, 3, 2}) != 1 {

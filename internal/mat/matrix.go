@@ -1,13 +1,34 @@
 // Package mat provides the dense linear algebra primitives used by the
-// machine-learning substrates in this repository: row-major float64
-// matrices, element-wise kernels, matrix products, and the handful of
-// reductions (softmax, argmax, norms) that the neural network, GNN and
+// machine-learning substrates in this repository: row-major matrices,
+// element-wise kernels, matrix products, and the handful of reductions
+// (softmax, argmax, norms) that the neural network, GNN and
 // label-propagation code need.
 //
-// The package is deliberately small and allocation-conscious rather than a
-// general BLAS: every routine the higher layers need is here, and nothing
-// else. All matrices are dense and row-major; a Matrix value is cheap to
-// copy (it shares the backing slice) in the same way a Go slice is.
+// # Precision as a type parameter
+//
+// Every kernel is generic over the element type (Float = float32 |
+// float64): Dense[T] is the storage type, Matrix and Matrix32 are the
+// concrete aliases the rest of the repository reads. float64 remains the
+// reference precision — the float64 instantiation of every generic
+// kernel is arithmetically identical, bit for bit, to the pre-generic
+// float64 code it replaced. The float32 instantiation halves the working
+// set of the bandwidth-bound hot paths (SpMM, matmul) and is pinned
+// within tolerance of the float64 reference by the equivalence suites in
+// internal/gnn.
+//
+// Scalar reduction chains (Dot, Norm2, Sum, softmax denominators) always
+// accumulate in float64 regardless of the storage type: a float64
+// accumulator costs no memory bandwidth, and it keeps the float32 path
+// close enough to the reference for tolerance-based equivalence. Vector
+// accumulators (matmul and SpMM output rows) stay in storage precision —
+// they are exactly the buffers whose bandwidth the float32 path exists
+// to halve.
+//
+// The package is deliberately small and allocation-conscious rather than
+// a general BLAS: every routine the higher layers need is here, and
+// nothing else. All matrices are dense and row-major; a Dense value is
+// cheap to copy (it shares the backing slice) in the same way a Go slice
+// is.
 package mat
 
 import (
@@ -16,6 +37,12 @@ import (
 
 	"trail/internal/par"
 )
+
+// Float is the element-type constraint of the numeric core: matrices,
+// CSR values and model weights are generic over it.
+type Float interface {
+	~float32 | ~float64
+}
 
 // The hot kernels (MatMulInto, MatMulTransA, MatMulTransB,
 // L2NormalizeRows, Apply) run their row loops through par.For above a
@@ -49,20 +76,32 @@ func parRows(n, perRow int, fn func(lo, hi int)) {
 	par.For(n, grain, fn)
 }
 
-// Matrix is a dense, row-major matrix of float64 values. The zero value is
-// an empty 0x0 matrix. Matrix values share backing storage when copied;
-// use Clone for a deep copy.
-type Matrix struct {
+// Dense is a dense, row-major matrix of T values. The zero value is an
+// empty 0x0 matrix. Dense values share backing storage when copied; use
+// Clone for a deep copy.
+type Dense[T Float] struct {
 	Rows, Cols int
-	Data       []float64 // len == Rows*Cols, row-major
+	Data       []T // len == Rows*Cols, row-major
 }
 
-// New returns a zeroed rows x cols matrix.
-func New(rows, cols int) *Matrix {
+// Matrix is the float64 reference instantiation — the storage type of
+// every path that predates the precision-parametric core, and the
+// arithmetic reference the float32 path is pinned against.
+type Matrix = Dense[float64]
+
+// Matrix32 is the float32 storage instantiation for bandwidth-bound hot
+// paths.
+type Matrix32 = Dense[float32]
+
+// New returns a zeroed rows x cols float64 matrix.
+func New(rows, cols int) *Matrix { return NewOf[float64](rows, cols) }
+
+// NewOf returns a zeroed rows x cols matrix of the given element type.
+func NewOf[T Float](rows, cols int) *Dense[T] {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
 	}
-	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+	return &Dense[T]{Rows: rows, Cols: cols, Data: make([]T, rows*cols)}
 }
 
 // FromRows builds a matrix from a slice of equal-length rows. The data is
@@ -84,24 +123,50 @@ func FromRows(rows [][]float64) *Matrix {
 
 // FromSlice wraps an existing row-major slice without copying. The slice
 // length must equal rows*cols.
-func FromSlice(rows, cols int, data []float64) *Matrix {
+func FromSlice[T Float](rows, cols int, data []T) *Dense[T] {
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("mat: FromSlice length %d != %d*%d", len(data), rows, cols))
 	}
-	return &Matrix{Rows: rows, Cols: cols, Data: data}
+	return &Dense[T]{Rows: rows, Cols: cols, Data: data}
+}
+
+// Cast returns src converted to element type T. When src is already a
+// *Dense[T] it is returned unchanged (no copy), so the float64 reference
+// path pays nothing; a cross-precision cast allocates a fresh matrix and
+// rounds element-wise.
+func Cast[T, U Float](src *Dense[U]) *Dense[T] {
+	if m, ok := any(src).(*Dense[T]); ok {
+		return m
+	}
+	out := NewOf[T](src.Rows, src.Cols)
+	for i, v := range src.Data {
+		out.Data[i] = T(v)
+	}
+	return out
+}
+
+// CastInto writes src converted to T into dst (shapes must match).
+func CastInto[T, U Float](dst *Dense[T], src *Dense[U]) *Dense[T] {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("mat: CastInto shape mismatch %dx%d vs %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = T(v)
+	}
+	return dst
 }
 
 // At returns the element at row i, column j.
-func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+func (m *Dense[T]) At(i, j int) T { return m.Data[i*m.Cols+j] }
 
 // Set assigns the element at row i, column j.
-func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+func (m *Dense[T]) Set(i, j int, v T) { m.Data[i*m.Cols+j] = v }
 
 // Row returns a view (not a copy) of row i.
-func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+func (m *Dense[T]) Row(i int) []T { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
 // SetRow copies v into row i. len(v) must equal Cols.
-func (m *Matrix) SetRow(i int, v []float64) {
+func (m *Dense[T]) SetRow(i int, v []T) {
 	if len(v) != m.Cols {
 		panic(fmt.Sprintf("mat: SetRow length %d != %d", len(v), m.Cols))
 	}
@@ -109,27 +174,27 @@ func (m *Matrix) SetRow(i int, v []float64) {
 }
 
 // Clone returns a deep copy of m.
-func (m *Matrix) Clone() *Matrix {
-	out := New(m.Rows, m.Cols)
+func (m *Dense[T]) Clone() *Dense[T] {
+	out := NewOf[T](m.Rows, m.Cols)
 	copy(out.Data, m.Data)
 	return out
 }
 
 // Zero resets every element to 0 in place.
-func (m *Matrix) Zero() {
+func (m *Dense[T]) Zero() {
 	clear(m.Data)
 }
 
 // Fill sets every element to v in place.
-func (m *Matrix) Fill(v float64) {
+func (m *Dense[T]) Fill(v T) {
 	for i := range m.Data {
 		m.Data[i] = v
 	}
 }
 
 // T returns the transpose of m as a new matrix.
-func (m *Matrix) T() *Matrix {
-	out := New(m.Cols, m.Rows)
+func (m *Dense[T]) T() *Dense[T] {
+	out := NewOf[T](m.Cols, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
@@ -140,18 +205,18 @@ func (m *Matrix) T() *Matrix {
 }
 
 // MatMul returns a*b. Panics if the inner dimensions disagree.
-func MatMul(a, b *Matrix) *Matrix {
+func MatMul[T Float](a, b *Dense[T]) *Dense[T] {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: MatMul %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Cols)
+	out := NewOf[T](a.Rows, b.Cols)
 	MatMulInto(out, a, b)
 	return out
 }
 
 // MatMulInto computes dst = a*b, reusing dst's storage. dst must be
 // a.Rows x b.Cols and must not alias a or b.
-func MatMulInto(dst, a, b *Matrix) {
+func MatMulInto[T Float](dst, a, b *Dense[T]) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: MatMulInto %dx%d = %dx%d * %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
@@ -161,13 +226,27 @@ func MatMulInto(dst, a, b *Matrix) {
 	// The block body lives on a pooled carrier (see kargs) so repeated
 	// calls allocate nothing.
 	k := getKargs(dst, a, b)
-	parRows(a.Rows, a.Cols*b.Cols, k.mm)
+	perRow := a.Cols * b.Cols
+	if len(b.Data) >= matmulTileMinElems && a.Rows > 1 && a.Rows*perRow >= minParFlops {
+		// Cache-blocked dispatch: the flop-based grain would hand each
+		// block a single row here, which leaves the k-tiled body (see
+		// runMatMul) nothing to reuse its b tile across. Give every block
+		// at least matmulTileMinRows rows instead — per-row results are
+		// independent, so the coarser partition changes no bits.
+		grain := grainFlops / perRow
+		if grain < matmulTileMinRows {
+			grain = matmulTileMinRows
+		}
+		par.For(a.Rows, grain, k.mm)
+	} else {
+		parRows(a.Rows, perRow, k.mm)
+	}
 	k.put()
 }
 
 // MatMulTransB returns a * bᵀ without materialising the transpose.
-func MatMulTransB(a, b *Matrix) *Matrix {
-	out := New(a.Rows, b.Rows)
+func MatMulTransB[T Float](a, b *Dense[T]) *Dense[T] {
+	out := NewOf[T](a.Rows, b.Rows)
 	MatMulTransBInto(out, a, b)
 	return out
 }
@@ -175,7 +254,7 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 // MatMulTransBInto computes dst = a * bᵀ without materialising the
 // transpose, reusing dst's storage. dst must be a.Rows x b.Rows and must
 // not alias a or b.
-func MatMulTransBInto(dst, a, b *Matrix) {
+func MatMulTransBInto[T Float](dst, a, b *Dense[T]) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: MatMulTransBInto %dx%d = %dx%d * (%dx%d)T",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
@@ -186,8 +265,8 @@ func MatMulTransBInto(dst, a, b *Matrix) {
 }
 
 // MatMulTransA returns aᵀ * b without materialising the transpose.
-func MatMulTransA(a, b *Matrix) *Matrix {
-	out := New(a.Cols, b.Cols)
+func MatMulTransA[T Float](a, b *Dense[T]) *Dense[T] {
+	out := NewOf[T](a.Cols, b.Cols)
 	MatMulTransAInto(out, a, b)
 	return out
 }
@@ -195,7 +274,7 @@ func MatMulTransA(a, b *Matrix) *Matrix {
 // MatMulTransAInto computes dst = aᵀ * b without materialising the
 // transpose, reusing dst's storage (any prior contents are overwritten).
 // dst must be a.Cols x b.Cols and must not alias a or b.
-func MatMulTransAInto(dst, a, b *Matrix) {
+func MatMulTransAInto[T Float](dst, a, b *Dense[T]) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: MatMulTransAInto %dx%d = (%dx%d)T * %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
@@ -208,7 +287,7 @@ func MatMulTransAInto(dst, a, b *Matrix) {
 }
 
 // Add returns a+b element-wise.
-func Add(a, b *Matrix) *Matrix {
+func Add[T Float](a, b *Dense[T]) *Dense[T] {
 	checkSameShape("Add", a, b)
 	out := a.Clone()
 	for i, v := range b.Data {
@@ -218,7 +297,7 @@ func Add(a, b *Matrix) *Matrix {
 }
 
 // AddInPlace adds b into a element-wise and returns a.
-func AddInPlace(a, b *Matrix) *Matrix {
+func AddInPlace[T Float](a, b *Dense[T]) *Dense[T] {
 	checkSameShape("AddInPlace", a, b)
 	for i, v := range b.Data {
 		a.Data[i] += v
@@ -227,7 +306,7 @@ func AddInPlace(a, b *Matrix) *Matrix {
 }
 
 // Sub returns a-b element-wise.
-func Sub(a, b *Matrix) *Matrix {
+func Sub[T Float](a, b *Dense[T]) *Dense[T] {
 	checkSameShape("Sub", a, b)
 	out := a.Clone()
 	for i, v := range b.Data {
@@ -237,7 +316,7 @@ func Sub(a, b *Matrix) *Matrix {
 }
 
 // Hadamard returns the element-wise product a⊙b.
-func Hadamard(a, b *Matrix) *Matrix {
+func Hadamard[T Float](a, b *Dense[T]) *Dense[T] {
 	checkSameShape("Hadamard", a, b)
 	out := a.Clone()
 	for i, v := range b.Data {
@@ -247,7 +326,7 @@ func Hadamard(a, b *Matrix) *Matrix {
 }
 
 // Scale multiplies every element of m by s in place and returns m.
-func (m *Matrix) Scale(s float64) *Matrix {
+func (m *Dense[T]) Scale(s T) *Dense[T] {
 	for i := range m.Data {
 		m.Data[i] *= s
 	}
@@ -256,7 +335,7 @@ func (m *Matrix) Scale(s float64) *Matrix {
 
 // AddRowVector adds vector v to every row of m in place and returns m.
 // len(v) must equal m.Cols.
-func (m *Matrix) AddRowVector(v []float64) *Matrix {
+func (m *Dense[T]) AddRowVector(v []T) *Dense[T] {
 	if len(v) != m.Cols {
 		panic(fmt.Sprintf("mat: AddRowVector length %d != %d", len(v), m.Cols))
 	}
@@ -270,7 +349,7 @@ func (m *Matrix) AddRowVector(v []float64) *Matrix {
 }
 
 // Apply replaces every element x with f(x) in place and returns m.
-func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+func (m *Dense[T]) Apply(f func(T) T) *Dense[T] {
 	parRows(len(m.Data), 4, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			m.Data[i] = f(m.Data[i])
@@ -280,8 +359,8 @@ func (m *Matrix) Apply(f func(float64) float64) *Matrix {
 }
 
 // ColSums returns the per-column sums of m.
-func (m *Matrix) ColSums() []float64 {
-	out := make([]float64, m.Cols)
+func (m *Dense[T]) ColSums() []T {
+	out := make([]T, m.Cols)
 	for i := 0; i < m.Rows; i++ {
 		for j, v := range m.Row(i) {
 			out[j] += v
@@ -291,27 +370,28 @@ func (m *Matrix) ColSums() []float64 {
 }
 
 // ColMeans returns the per-column means of m. A 0-row matrix yields zeros.
-func (m *Matrix) ColMeans() []float64 {
+func (m *Dense[T]) ColMeans() []T {
 	out := m.ColSums()
 	if m.Rows == 0 {
 		return out
 	}
 	inv := 1.0 / float64(m.Rows)
 	for j := range out {
-		out[j] *= inv
+		out[j] = T(float64(out[j]) * inv)
 	}
 	return out
 }
 
 // L2NormalizeRows rescales each row to unit L2 norm in place and returns m.
-// Zero rows are left untouched.
-func (m *Matrix) L2NormalizeRows() *Matrix {
+// Zero rows are left untouched. The norm accumulates in float64 (see the
+// package comment); the per-element rescale happens in storage precision.
+func (m *Dense[T]) L2NormalizeRows() *Dense[T] {
 	parRows(m.Rows, 2*m.Cols, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := m.Row(i)
 			n := Norm2(row)
 			if n > 0 {
-				inv := 1 / n
+				inv := T(1 / n)
 				for j := range row {
 					row[j] *= inv
 				}
@@ -323,8 +403,8 @@ func (m *Matrix) L2NormalizeRows() *Matrix {
 
 // SelectRows returns a new matrix consisting of the given rows of m, in
 // order. Indices may repeat.
-func (m *Matrix) SelectRows(idx []int) *Matrix {
-	out := New(len(idx), m.Cols)
+func (m *Dense[T]) SelectRows(idx []int) *Dense[T] {
+	out := NewOf[T](len(idx), m.Cols)
 	for i, r := range idx {
 		copy(out.Row(i), m.Row(r))
 	}
@@ -332,9 +412,9 @@ func (m *Matrix) SelectRows(idx []int) *Matrix {
 }
 
 // HStack concatenates matrices horizontally (they must agree on Rows).
-func HStack(ms ...*Matrix) *Matrix {
+func HStack[T Float](ms ...*Dense[T]) *Dense[T] {
 	if len(ms) == 0 {
-		return New(0, 0)
+		return NewOf[T](0, 0)
 	}
 	rows := ms[0].Rows
 	cols := 0
@@ -344,7 +424,7 @@ func HStack(ms ...*Matrix) *Matrix {
 		}
 		cols += m.Cols
 	}
-	out := New(rows, cols)
+	out := NewOf[T](rows, cols)
 	for i := 0; i < rows; i++ {
 		dst := out.Row(i)
 		off := 0
@@ -357,9 +437,9 @@ func HStack(ms ...*Matrix) *Matrix {
 }
 
 // VStack concatenates matrices vertically (they must agree on Cols).
-func VStack(ms ...*Matrix) *Matrix {
+func VStack[T Float](ms ...*Dense[T]) *Dense[T] {
 	if len(ms) == 0 {
-		return New(0, 0)
+		return NewOf[T](0, 0)
 	}
 	cols := ms[0].Cols
 	rows := 0
@@ -369,7 +449,7 @@ func VStack(ms ...*Matrix) *Matrix {
 		}
 		rows += m.Rows
 	}
-	out := New(rows, cols)
+	out := NewOf[T](rows, cols)
 	off := 0
 	for _, m := range ms {
 		copy(out.Data[off:off+len(m.Data)], m.Data)
@@ -379,17 +459,17 @@ func VStack(ms ...*Matrix) *Matrix {
 }
 
 // MaxAbs returns the largest absolute element value in m (0 for empty).
-func (m *Matrix) MaxAbs() float64 {
+func (m *Dense[T]) MaxAbs() float64 {
 	max := 0.0
 	for _, v := range m.Data {
-		if a := math.Abs(v); a > max {
+		if a := math.Abs(float64(v)); a > max {
 			max = a
 		}
 	}
 	return max
 }
 
-func checkSameShape(op string, a, b *Matrix) {
+func checkSameShape[T Float](op string, a, b *Dense[T]) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
 	}

@@ -1,0 +1,117 @@
+// Package mattest holds the comparison helpers shared by the numeric
+// equivalence suites. Two regimes exist and must not be confused:
+//
+//   - BitEqual/BitEqualVec assert exact bit-identity within one element
+//     type — the contract for refactors that must not change a single
+//     operation (pooled vs allocating scratch, serial vs parallel
+//     kernels, permuted vs unpermuted execution).
+//
+//   - Close/CloseVec assert elementwise tolerance across element types —
+//     the contract for the float32 pipeline, which is checked against
+//     the float64 reference as |got-want| <= Atol + Rtol*|want|.
+//
+// The helpers take testing.TB so tests and benchmarks share them.
+package mattest
+
+import (
+	"math"
+	"testing"
+
+	"trail/internal/mat"
+)
+
+// Tol is an elementwise absolute+relative tolerance.
+type Tol struct {
+	Atol, Rtol float64
+}
+
+// Float32Tol is the default tolerance for float32-vs-float64
+// comparisons of model outputs: float32 carries ~7 decimal digits, and
+// a few dozen training epochs compound rounding into the 1e-3 relative
+// range on logits and probabilities.
+var Float32Tol = Tol{Atol: 1e-4, Rtol: 5e-3}
+
+// Within reports whether got is within the tolerance of want. NaNs
+// match only NaNs; infinities must match exactly.
+func (tol Tol) Within(got, want float64) bool {
+	if math.IsNaN(got) || math.IsNaN(want) {
+		return math.IsNaN(got) && math.IsNaN(want)
+	}
+	if math.IsInf(got, 0) || math.IsInf(want, 0) {
+		return got == want
+	}
+	return math.Abs(got-want) <= tol.Atol+tol.Rtol*math.Abs(want)
+}
+
+// bitsOf widens v to float64 and returns its bit pattern. The widening
+// is exact for every float32, so same-type comparisons through bitsOf
+// are true bit-identity checks (and NaNs compare equal to NaNs).
+func bitsOf[T mat.Float](v T) uint64 { return math.Float64bits(float64(v)) }
+
+// BitEqual fails the test unless got and want have the same shape and
+// identical bits at every element.
+func BitEqual[T mat.Float](t testing.TB, name string, got, want *mat.Dense[T]) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape (%d,%d) vs (%d,%d)", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if bitsOf(got.Data[i]) != bitsOf(want.Data[i]) {
+			t.Fatalf("%s: element (%d,%d) differs bitwise: %v vs %v",
+				name, i/want.Cols, i%want.Cols, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// BitEqualVec is BitEqual for plain vectors.
+func BitEqualVec[T mat.Float](t testing.TB, name string, got, want []T) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if bitsOf(got[i]) != bitsOf(want[i]) {
+			t.Fatalf("%s: element %d differs bitwise: %v vs %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// Close fails the test unless got and want have the same shape and every
+// element of got is within tol of the reference want. The failure
+// message reports the worst element so tolerances can be tuned from one
+// run.
+func Close[T, U mat.Float](t testing.TB, name string, got *mat.Dense[T], want *mat.Dense[U], tol Tol) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape (%d,%d) vs (%d,%d)", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	worst, worstIdx := 0.0, -1
+	for i := range want.Data {
+		g, w := float64(got.Data[i]), float64(want.Data[i])
+		if !tol.Within(g, w) {
+			if d := math.Abs(g - w); worstIdx < 0 || d > worst {
+				worst, worstIdx = d, i
+			}
+		}
+	}
+	if worstIdx >= 0 {
+		t.Fatalf("%s: element (%d,%d) outside tol{atol %g, rtol %g}: got %v, want %v (|diff| %g)",
+			name, worstIdx/want.Cols, worstIdx%want.Cols, tol.Atol, tol.Rtol,
+			got.Data[worstIdx], want.Data[worstIdx], worst)
+	}
+}
+
+// CloseVec is Close for plain vectors.
+func CloseVec[T, U mat.Float](t testing.TB, name string, got []T, want []U, tol Tol) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range want {
+		g, w := float64(got[i]), float64(want[i])
+		if !tol.Within(g, w) {
+			t.Fatalf("%s: element %d outside tol{atol %g, rtol %g}: got %v, want %v",
+				name, i, tol.Atol, tol.Rtol, got[i], want[i])
+		}
+	}
+}

@@ -6,8 +6,12 @@ import (
 )
 
 // This file implements the memory-discipline layer of DESIGN.md §3e: a
-// shape-keyed pool of Matrix buffers plus a scoped Workspace arena, so the
+// shape-keyed pool of matrix buffers plus a scoped Workspace arena, so the
 // training and inference hot loops run allocation-free in steady state.
+// Pool and Workspace are generic over the element type; the float64
+// aliases (Pool, Workspace) keep the pre-generic call sites unchanged,
+// and each concrete precision has its own shared pool so float32 and
+// float64 buffers never mix.
 //
 // Ownership rules:
 //
@@ -26,33 +30,39 @@ import (
 //   - A Workspace is single-goroutine. Distinct goroutines must use
 //     distinct Workspaces (the backing Pool is safe for concurrent use).
 
-// Pool is a shape-keyed free list of Matrix buffers. The zero value is
-// not usable; use NewPool. All methods are safe for concurrent use.
-type Pool struct {
+// PoolOf is a shape-keyed free list of Dense[T] buffers. The zero value
+// is not usable; use NewPoolOf. All methods are safe for concurrent use.
+type PoolOf[T Float] struct {
 	mu   sync.Mutex
-	free map[int64][]*Matrix
+	free map[int64][]*Dense[T]
 	// pooled tracks matrices currently sitting in the free lists so a
 	// double-Put fails loudly instead of handing one buffer to two owners.
-	pooled map[*Matrix]struct{}
+	pooled map[*Dense[T]]struct{}
 }
 
-// NewPool returns an empty pool.
-func NewPool() *Pool {
-	return &Pool{free: make(map[int64][]*Matrix), pooled: make(map[*Matrix]struct{})}
+// Pool is the float64 instantiation of PoolOf.
+type Pool = PoolOf[float64]
+
+// NewPool returns an empty float64 pool.
+func NewPool() *Pool { return NewPoolOf[float64]() }
+
+// NewPoolOf returns an empty pool for element type T.
+func NewPoolOf[T Float]() *PoolOf[T] {
+	return &PoolOf[T]{free: make(map[int64][]*Dense[T]), pooled: make(map[*Dense[T]]struct{})}
 }
 
 func shapeKey(rows, cols int) int64 { return int64(rows)<<32 | int64(uint32(cols)) }
 
 // Get returns a zeroed rows x cols matrix, reusing a previously Put
 // buffer of the same shape when one is available.
-func (p *Pool) Get(rows, cols int) *Matrix { return p.get(rows, cols, true) }
+func (p *PoolOf[T]) Get(rows, cols int) *Dense[T] { return p.get(rows, cols, true) }
 
 // GetDirty is Get without the zeroing: the returned matrix may hold
 // arbitrary stale values. Use only when the first consumer overwrites
 // every element (see the ownership rules above).
-func (p *Pool) GetDirty(rows, cols int) *Matrix { return p.get(rows, cols, false) }
+func (p *PoolOf[T]) GetDirty(rows, cols int) *Dense[T] { return p.get(rows, cols, false) }
 
-func (p *Pool) get(rows, cols int, zero bool) *Matrix {
+func (p *PoolOf[T]) get(rows, cols int, zero bool) *Dense[T] {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("mat: Pool.Get negative dimension %dx%d", rows, cols))
 	}
@@ -69,14 +79,14 @@ func (p *Pool) get(rows, cols int, zero bool) *Matrix {
 		return m
 	}
 	p.mu.Unlock()
-	return New(rows, cols)
+	return NewOf[T](rows, cols)
 }
 
 // Put returns m to the pool. It panics on a shape-inconsistent matrix
 // (len(Data) != Rows*Cols — e.g. a reshaped view of someone else's
 // storage) and on a double-Put of the same buffer. Put(nil) and empty
 // matrices are no-ops.
-func (p *Pool) Put(m *Matrix) {
+func (p *PoolOf[T]) Put(m *Dense[T]) {
 	if m == nil || m.Rows*m.Cols == 0 {
 		return
 	}
@@ -94,21 +104,49 @@ func (p *Pool) Put(m *Matrix) {
 	p.free[key] = append(p.free[key], m)
 }
 
-// sharedPool backs the package-level GetBuf/PutBuf and every Workspace
-// created with NewWorkspace.
-var sharedPool = NewPool()
+// sharedPool and sharedPool32 back the package-level GetBuf/PutBuf
+// helpers and every Workspace created with NewWorkspace/NewWorkspaceOf.
+// One pool per concrete precision: a float32 buffer can never satisfy a
+// float64 borrow.
+var (
+	sharedPool   = NewPool()
+	sharedPool32 = NewPoolOf[float32]()
+)
 
-// GetBuf borrows a zeroed rows x cols matrix from the shared pool.
+// SharedPoolOf returns the process-wide pool for element type T. Exotic
+// named Float types get a fresh (unshared) pool; only float32 and
+// float64 are on the zero-allocation hot path.
+func SharedPoolOf[T Float]() *PoolOf[T] {
+	if p, ok := any(sharedPool).(*PoolOf[T]); ok {
+		return p
+	}
+	if p, ok := any(sharedPool32).(*PoolOf[T]); ok {
+		return p
+	}
+	return NewPoolOf[T]()
+}
+
+// GetBuf borrows a zeroed rows x cols float64 matrix from the shared pool.
 func GetBuf(rows, cols int) *Matrix { return sharedPool.Get(rows, cols) }
 
-// GetBufDirty borrows an unzeroed matrix from the shared pool; the first
-// consumer must overwrite every element.
+// GetBufDirty borrows an unzeroed float64 matrix from the shared pool;
+// the first consumer must overwrite every element.
 func GetBufDirty(rows, cols int) *Matrix { return sharedPool.GetDirty(rows, cols) }
 
 // PutBuf returns a GetBuf matrix to the shared pool.
 func PutBuf(m *Matrix) { sharedPool.Put(m) }
 
-// Workspace is a scoped scratch arena for hot loops that request the
+// GetBufOf borrows a zeroed rows x cols matrix of element type T from
+// that precision's shared pool.
+func GetBufOf[T Float](rows, cols int) *Dense[T] { return SharedPoolOf[T]().Get(rows, cols) }
+
+// GetBufDirtyOf is GetBufOf without the zeroing.
+func GetBufDirtyOf[T Float](rows, cols int) *Dense[T] { return SharedPoolOf[T]().GetDirty(rows, cols) }
+
+// PutBufOf returns a GetBufOf matrix to its precision's shared pool.
+func PutBufOf[T Float](m *Dense[T]) { SharedPoolOf[T]().Put(m) }
+
+// WorkspaceOf is a scoped scratch arena for hot loops that request the
 // same sequence of buffer shapes on every iteration (an epoch, a batch,
 // a propagation step). Get hands out zeroed buffers; Reset rewinds the
 // cursor so the next iteration re-borrows the same buffers in order;
@@ -116,31 +154,42 @@ func PutBuf(m *Matrix) { sharedPool.Put(m) }
 //
 // A Workspace is NOT safe for concurrent use — it is the per-goroutine
 // half of the design, with the concurrent Pool underneath.
-type Workspace struct {
-	pool        *Pool // nil in allocating (reference) mode
-	mats        []*Matrix
-	vecs        [][]float64
+type WorkspaceOf[T Float] struct {
+	pool        *PoolOf[T] // nil in allocating (reference) mode
+	mats        []*Dense[T]
+	vecs        [][]T
 	next, vnext int
 }
 
-// NewWorkspace returns a Workspace backed by the shared pool.
-func NewWorkspace() *Workspace { return &Workspace{pool: sharedPool} }
+// Workspace is the float64 instantiation of WorkspaceOf.
+type Workspace = WorkspaceOf[float64]
+
+// NewWorkspace returns a float64 Workspace backed by the shared pool.
+func NewWorkspace() *Workspace { return NewWorkspaceOf[float64]() }
+
+// NewWorkspaceOf returns a Workspace backed by T's shared pool.
+func NewWorkspaceOf[T Float]() *WorkspaceOf[T] {
+	return &WorkspaceOf[T]{pool: SharedPoolOf[T]()}
+}
 
 // NewWorkspaceOn returns a Workspace backed by a specific pool.
-func NewWorkspaceOn(p *Pool) *Workspace { return &Workspace{pool: p} }
+func NewWorkspaceOn[T Float](p *PoolOf[T]) *WorkspaceOf[T] { return &WorkspaceOf[T]{pool: p} }
 
-// NewAllocWorkspace returns a Workspace whose Get always allocates a
-// fresh matrix — the allocation behaviour of the pre-pool code paths. It
-// exists so equivalence tests can run one training loop pooled and one
-// allocating and assert bit-identical results; Release and Reset drop
-// all references for the GC.
+// NewAllocWorkspace returns a float64 Workspace whose Get always
+// allocates a fresh matrix — the allocation behaviour of the pre-pool
+// code paths. It exists so equivalence tests can run one training loop
+// pooled and one allocating and assert bit-identical results; Release
+// and Reset drop all references for the GC.
 func NewAllocWorkspace() *Workspace { return &Workspace{} }
+
+// NewAllocWorkspaceOf is NewAllocWorkspace at any element type.
+func NewAllocWorkspaceOf[T Float]() *WorkspaceOf[T] { return &WorkspaceOf[T]{} }
 
 // Get returns a zeroed rows x cols matrix valid until the next Reset or
 // Release. Buffers are matched to call sites by cursor position, so a
 // loop that issues the same Get sequence every iteration reuses the same
 // storage with zero allocation.
-func (w *Workspace) Get(rows, cols int) *Matrix { return w.get(rows, cols, true) }
+func (w *WorkspaceOf[T]) Get(rows, cols int) *Dense[T] { return w.get(rows, cols, true) }
 
 // GetDirty is Get without the zeroing — the memset is the dominant cost
 // of re-borrowing a large buffer, and most kernels overwrite their
@@ -149,11 +198,11 @@ func (w *Workspace) Get(rows, cols int) *Matrix { return w.get(rows, cols, true)
 // element. In allocating reference mode it returns a fresh (zeroed)
 // matrix, which is indistinguishable to a full-overwrite consumer, so
 // pooled-vs-allocating equivalence is preserved.
-func (w *Workspace) GetDirty(rows, cols int) *Matrix { return w.get(rows, cols, false) }
+func (w *WorkspaceOf[T]) GetDirty(rows, cols int) *Dense[T] { return w.get(rows, cols, false) }
 
-func (w *Workspace) get(rows, cols int, zero bool) *Matrix {
+func (w *WorkspaceOf[T]) get(rows, cols int, zero bool) *Dense[T] {
 	if w.pool == nil { // allocating reference mode
-		m := New(rows, cols)
+		m := NewOf[T](rows, cols)
 		w.mats = append(w.mats, m)
 		w.next = len(w.mats)
 		return m
@@ -186,13 +235,13 @@ func (w *Workspace) get(rows, cols int, zero bool) *Matrix {
 
 // Vec returns a zeroed length-n scratch slice under the same cursor
 // discipline as Get.
-func (w *Workspace) Vec(n int) []float64 { return w.vec(n, true) }
+func (w *WorkspaceOf[T]) Vec(n int) []T { return w.vec(n, true) }
 
 // VecDirty is Vec without the zeroing, for slices whose first consumer
 // writes every element.
-func (w *Workspace) VecDirty(n int) []float64 { return w.vec(n, false) }
+func (w *WorkspaceOf[T]) VecDirty(n int) []T { return w.vec(n, false) }
 
-func (w *Workspace) vec(n int, zero bool) []float64 {
+func (w *WorkspaceOf[T]) vec(n int, zero bool) []T {
 	if w.vnext < len(w.vecs) && cap(w.vecs[w.vnext]) >= n && w.pool != nil {
 		v := w.vecs[w.vnext][:n]
 		w.vnext++
@@ -201,7 +250,7 @@ func (w *Workspace) vec(n int, zero bool) []float64 {
 		}
 		return v
 	}
-	v := make([]float64, n)
+	v := make([]T, n)
 	if w.vnext < len(w.vecs) {
 		w.vecs[w.vnext] = v
 	} else {
@@ -215,7 +264,7 @@ func (w *Workspace) vec(n int, zero bool) []float64 {
 // by subsequent Gets (in the same order) and must no longer be used under
 // their old references. In allocating mode it instead drops all
 // references so every Get stays fresh.
-func (w *Workspace) Reset() {
+func (w *WorkspaceOf[T]) Reset() {
 	if w.pool == nil {
 		w.mats, w.vecs = nil, nil
 	}
@@ -224,7 +273,7 @@ func (w *Workspace) Reset() {
 
 // Release returns every buffer to the backing pool and empties the
 // workspace, which remains usable afterwards.
-func (w *Workspace) Release() {
+func (w *WorkspaceOf[T]) Release() {
 	if w.pool != nil {
 		for _, m := range w.mats {
 			w.pool.Put(m)

@@ -5,30 +5,53 @@ import (
 	"math/rand"
 )
 
-// RandUniform fills a new rows x cols matrix with uniform values in
-// [-scale, scale) drawn from rng.
+// The generic initialisers draw exactly the same rng.Float64 /
+// NormFloat64 sequence at every element type and only round the result
+// into storage precision. A float32 model seeded like a float64 model
+// therefore starts from the rounded image of the same weights, which is
+// what keeps the two training trajectories comparable in the
+// equivalence suites.
+
+// RandUniform fills a new rows x cols float64 matrix with uniform values
+// in [-scale, scale) drawn from rng.
 func RandUniform(rng *rand.Rand, rows, cols int, scale float64) *Matrix {
-	m := New(rows, cols)
+	return RandUniformOf[float64](rng, rows, cols, scale)
+}
+
+// RandUniformOf is RandUniform at any element type.
+func RandUniformOf[T Float](rng *rand.Rand, rows, cols int, scale float64) *Dense[T] {
+	m := NewOf[T](rows, cols)
 	for i := range m.Data {
-		m.Data[i] = (rng.Float64()*2 - 1) * scale
+		m.Data[i] = T((rng.Float64()*2 - 1) * scale)
 	}
 	return m
 }
 
-// GlorotUniform returns a rows x cols matrix initialised with the Glorot
-// (Xavier) uniform scheme: U(-s, s) with s = sqrt(6/(fanIn+fanOut)). This
-// is the initialisation used by every dense layer in the NN, autoencoder
-// and GraphSAGE modules.
+// GlorotUniform returns a rows x cols float64 matrix initialised with the
+// Glorot (Xavier) uniform scheme: U(-s, s) with s = sqrt(6/(fanIn+fanOut)).
+// This is the initialisation used by every dense layer in the NN,
+// autoencoder and GraphSAGE modules.
 func GlorotUniform(rng *rand.Rand, rows, cols int) *Matrix {
-	s := math.Sqrt(6.0 / float64(rows+cols))
-	return RandUniform(rng, rows, cols, s)
+	return GlorotUniformOf[float64](rng, rows, cols)
 }
 
-// RandNormal fills a new rows x cols matrix with N(mean, std) samples.
+// GlorotUniformOf is GlorotUniform at any element type.
+func GlorotUniformOf[T Float](rng *rand.Rand, rows, cols int) *Dense[T] {
+	s := math.Sqrt(6.0 / float64(rows+cols))
+	return RandUniformOf[T](rng, rows, cols, s)
+}
+
+// RandNormal fills a new rows x cols float64 matrix with N(mean, std)
+// samples.
 func RandNormal(rng *rand.Rand, rows, cols int, mean, std float64) *Matrix {
-	m := New(rows, cols)
+	return RandNormalOf[float64](rng, rows, cols, mean, std)
+}
+
+// RandNormalOf is RandNormal at any element type.
+func RandNormalOf[T Float](rng *rand.Rand, rows, cols int, mean, std float64) *Dense[T] {
+	m := NewOf[T](rows, cols)
 	for i := range m.Data {
-		m.Data[i] = rng.NormFloat64()*std + mean
+		m.Data[i] = T(rng.NormFloat64()*std + mean)
 	}
 	return m
 }

@@ -2,49 +2,58 @@ package mat
 
 import "math"
 
-// Dot returns the inner product of a and b. The slices must have equal
-// length; the shorter length is used if they differ (callers in this repo
-// always pass equal lengths, but slicing bugs should not read out of
-// bounds).
-func Dot(a, b []float64) float64 {
+// The reductions in this file accumulate in float64 regardless of the
+// element type (see the package comment): a scalar accumulator costs no
+// bandwidth, and float64 accumulation keeps the float32 path's losses,
+// norms and softmax denominators close to the reference. For the float64
+// instantiation every conversion below is the identity, so the generic
+// code is bit-identical to the float64-only code it replaced.
+
+// Dot returns the inner product of a and b, accumulated in float64. The
+// slices must have equal length; the shorter length is used if they
+// differ (callers in this repo always pass equal lengths, but slicing
+// bugs should not read out of bounds).
+func Dot[T Float](a, b []T) float64 {
 	n := len(a)
 	if len(b) < n {
 		n = len(b)
 	}
 	s := 0.0
 	for i := 0; i < n; i++ {
-		s += a[i] * b[i]
+		s += float64(a[i]) * float64(b[i])
 	}
 	return s
 }
 
-// Axpy computes y += alpha*x in place.
-func Axpy(alpha float64, x, y []float64) {
+// Axpy computes y += alpha*x in place. This is a vector accumulation, so
+// it runs in storage precision (it is exactly the buffer traffic the
+// float32 path halves).
+func Axpy[T Float](alpha T, x, y []T) {
 	for i, v := range x {
 		y[i] += alpha * v
 	}
 }
 
-// Norm2 returns the Euclidean norm of v.
-func Norm2(v []float64) float64 {
+// Norm2 returns the Euclidean norm of v, accumulated in float64.
+func Norm2[T Float](v []T) float64 {
 	s := 0.0
 	for _, x := range v {
-		s += x * x
+		s += float64(x) * float64(x)
 	}
 	return math.Sqrt(s)
 }
 
-// Sum returns the sum of the elements of v.
-func Sum(v []float64) float64 {
+// Sum returns the sum of the elements of v, accumulated in float64.
+func Sum[T Float](v []T) float64 {
 	s := 0.0
 	for _, x := range v {
-		s += x
+		s += float64(x)
 	}
 	return s
 }
 
 // Mean returns the arithmetic mean of v (0 for an empty slice).
-func Mean(v []float64) float64 {
+func Mean[T Float](v []T) float64 {
 	if len(v) == 0 {
 		return 0
 	}
@@ -52,14 +61,14 @@ func Mean(v []float64) float64 {
 }
 
 // Std returns the population standard deviation of v (0 for len < 2).
-func Std(v []float64) float64 {
+func Std[T Float](v []T) float64 {
 	if len(v) < 2 {
 		return 0
 	}
 	m := Mean(v)
 	s := 0.0
 	for _, x := range v {
-		d := x - m
+		d := float64(x) - m
 		s += d * d
 	}
 	return math.Sqrt(s / float64(len(v)))
@@ -67,7 +76,7 @@ func Std(v []float64) float64 {
 
 // Argmax returns the index of the largest element of v (-1 for empty).
 // Ties resolve to the first maximal index.
-func Argmax(v []float64) int {
+func Argmax[T Float](v []T) int {
 	if len(v) == 0 {
 		return -1
 	}
@@ -81,9 +90,9 @@ func Argmax(v []float64) int {
 }
 
 // Softmax writes the softmax of src into dst (they may alias) using the
-// numerically stable max-shift formulation. Both slices must have the same
-// length.
-func Softmax(dst, src []float64) {
+// numerically stable max-shift formulation. Both slices must have the
+// same length. Exponentials and the denominator accumulate in float64.
+func Softmax[T Float](dst, src []T) {
 	if len(src) == 0 {
 		return
 	}
@@ -95,25 +104,25 @@ func Softmax(dst, src []float64) {
 	}
 	sum := 0.0
 	for i, v := range src {
-		e := math.Exp(v - max)
-		dst[i] = e
+		e := math.Exp(float64(v - max))
+		dst[i] = T(e)
 		sum += e
 	}
 	if sum == 0 {
-		uniform := 1 / float64(len(dst))
+		uniform := T(1 / float64(len(dst)))
 		for i := range dst {
 			dst[i] = uniform
 		}
 		return
 	}
-	inv := 1 / sum
+	inv := T(1 / sum)
 	for i := range dst {
 		dst[i] *= inv
 	}
 }
 
 // SoftmaxRows applies Softmax to every row of m in place and returns m.
-func SoftmaxRows(m *Matrix) *Matrix {
+func SoftmaxRows[T Float](m *Dense[T]) *Dense[T] {
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		Softmax(row, row)
@@ -132,7 +141,7 @@ func OneHot(n, k int) []float64 {
 }
 
 // Clamp limits x to the interval [lo, hi].
-func Clamp(x, lo, hi float64) float64 {
+func Clamp[T Float](x, lo, hi T) T {
 	if x < lo {
 		return lo
 	}

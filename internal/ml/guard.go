@@ -12,6 +12,11 @@ import (
 // happens and surfaced as a typed error so the caller can roll back to
 // its best checkpoint instead of persisting (or keeping in memory) a
 // poisoned model.
+//
+// The helpers are generic over the parameter element type. Norms and the
+// clip scale accumulate in float64 at every precision (see internal/mat's
+// package comment); GradNorm's serial parameter-then-element chain is
+// the defining grouping and must not depend on worker count.
 
 // DivergenceError reports non-finite numerics during training.
 type DivergenceError struct {
@@ -37,11 +42,12 @@ func CheckLoss(epoch int, loss float64) error {
 }
 
 // CheckGrads scans every accumulated gradient for NaN or Inf.
-func CheckGrads(epoch int, params []*Param) error {
+func CheckGrads[T mat.Float](epoch int, params []*ParamOf[T]) error {
 	for _, p := range params {
 		for _, g := range p.G.Data {
-			if math.IsNaN(g) || math.IsInf(g, 0) {
-				return &DivergenceError{Quantity: "gradient", Epoch: epoch, Value: g}
+			gf := float64(g)
+			if math.IsNaN(gf) || math.IsInf(gf, 0) {
+				return &DivergenceError{Quantity: "gradient", Epoch: epoch, Value: gf}
 			}
 		}
 	}
@@ -53,11 +59,11 @@ func CheckGrads(epoch int, params []*Param) error {
 // that chain is the defining grouping ClipGrads scales by, so it must not
 // depend on worker count, and at a few tens of thousands of elements per
 // step it is noise next to the matmuls it guards. It allocates nothing.
-func GradNorm(params []*Param) float64 {
+func GradNorm[T mat.Float](params []*ParamOf[T]) float64 {
 	sum := 0.0
 	for _, p := range params {
 		for _, g := range p.G.Data {
-			sum += g * g
+			sum += float64(g) * float64(g)
 		}
 	}
 	return math.Sqrt(sum)
@@ -66,7 +72,7 @@ func GradNorm(params []*Param) float64 {
 // ClipGrads rescales all gradients so their global L2 norm does not
 // exceed maxNorm (no-op when maxNorm <= 0 or the norm is already within
 // bounds). It returns the pre-clip norm.
-func ClipGrads(params []*Param, maxNorm float64) float64 {
+func ClipGrads[T mat.Float](params []*ParamOf[T], maxNorm float64) float64 {
 	norm := GradNorm(params)
 	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
 		return norm
@@ -74,7 +80,7 @@ func ClipGrads(params []*Param, maxNorm float64) float64 {
 	scale := maxNorm / norm
 	for _, p := range params {
 		for i := range p.G.Data {
-			p.G.Data[i] *= scale
+			p.G.Data[i] = T(float64(p.G.Data[i]) * scale)
 		}
 	}
 	return norm
@@ -82,8 +88,8 @@ func ClipGrads(params []*Param, maxNorm float64) float64 {
 
 // CloneParams deep-copies parameter weights (not gradients) — the
 // lightweight best-checkpoint snapshot the rollback path restores from.
-func CloneParams(params []*Param) []*mat.Matrix {
-	out := make([]*mat.Matrix, len(params))
+func CloneParams[T mat.Float](params []*ParamOf[T]) []*mat.Dense[T] {
+	out := make([]*mat.Dense[T], len(params))
 	for i, p := range params {
 		out[i] = p.W.Clone()
 	}
@@ -93,7 +99,7 @@ func CloneParams(params []*Param) []*mat.Matrix {
 // CopyParams copies parameter weights into an existing snapshot taken
 // with CloneParams, reusing its storage — the allocation-free refresh of
 // the best-checkpoint snapshot in the training loops. Shapes must match.
-func CopyParams(snap []*mat.Matrix, params []*Param) error {
+func CopyParams[T mat.Float](snap []*mat.Dense[T], params []*ParamOf[T]) error {
 	if len(snap) != len(params) {
 		return fmt.Errorf("ml: CopyParams: %d snapshots for %d params", len(snap), len(params))
 	}
@@ -112,7 +118,7 @@ func CopyParams(snap []*mat.Matrix, params []*Param) error {
 // RestoreParams copies snapshot weights back into params and zeroes the
 // gradients. Shapes must match (they always do for a snapshot taken from
 // the same model).
-func RestoreParams(params []*Param, snap []*mat.Matrix) error {
+func RestoreParams[T mat.Float](params []*ParamOf[T], snap []*mat.Dense[T]) error {
 	if len(snap) != len(params) {
 		return fmt.Errorf("ml: RestoreParams: %d snapshots for %d params", len(snap), len(params))
 	}

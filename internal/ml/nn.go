@@ -16,11 +16,15 @@ type layer interface {
 	params() []*Param
 }
 
-// Param couples a trainable tensor with its gradient accumulator.
-type Param struct {
-	W *mat.Matrix
-	G *mat.Matrix
+// ParamOf couples a trainable tensor with its gradient accumulator, at
+// the model's element type.
+type ParamOf[T mat.Float] struct {
+	W *mat.Dense[T]
+	G *mat.Dense[T]
 }
+
+// Param is the float64 instantiation of ParamOf.
+type Param = ParamOf[float64]
 
 // --- Dense -------------------------------------------------------------------
 
@@ -220,38 +224,51 @@ func (d *dropout) params() []*Param { return nil }
 
 // --- Adam --------------------------------------------------------------------
 
-// Adam is the Adam optimiser (Kingma & Ba) over a fixed parameter set.
-type Adam struct {
+// AdamOf is the Adam optimiser (Kingma & Ba) over a fixed parameter set
+// at element type T. Hyperparameters, bias corrections and every per-
+// element update compute in float64; only the stored weights and moments
+// round to T (the identity at float64, so the reference path is
+// bit-identical to the pre-generic optimiser).
+type AdamOf[T mat.Float] struct {
 	LR, Beta1, Beta2, Eps float64
 	t                     int
-	m, v                  []*mat.Matrix
-	params                []*Param
+	m, v                  []*mat.Dense[T]
+	params                []*ParamOf[T]
 }
 
-// NewAdam prepares optimiser state for params.
-func NewAdam(lr float64, params []*Param) *Adam {
-	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+// Adam is the float64 instantiation of AdamOf.
+type Adam = AdamOf[float64]
+
+// NewAdam prepares float64 optimiser state for params.
+func NewAdam(lr float64, params []*Param) *Adam { return NewAdamOf(lr, params) }
+
+// NewAdamOf prepares optimiser state for params at any element type.
+func NewAdamOf[T mat.Float](lr float64, params []*ParamOf[T]) *AdamOf[T] {
+	a := &AdamOf[T]{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
 	for _, p := range params {
-		a.m = append(a.m, mat.New(p.W.Rows, p.W.Cols))
-		a.v = append(a.v, mat.New(p.W.Rows, p.W.Cols))
+		a.m = append(a.m, mat.NewOf[T](p.W.Rows, p.W.Cols))
+		a.v = append(a.v, mat.NewOf[T](p.W.Rows, p.W.Cols))
 	}
 	return a
 }
 
 // Step applies one Adam update from the accumulated gradients and zeroes
 // them.
-func (a *Adam) Step() {
+func (a *AdamOf[T]) Step() {
 	a.t++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for i, p := range a.params {
 		m, v := a.m[i], a.v[i]
 		for j, g := range p.G.Data {
-			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
-			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
-			mhat := m.Data[j] / bc1
-			vhat := v.Data[j] / bc2
-			p.W.Data[j] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+			gf := float64(g)
+			mf := a.Beta1*float64(m.Data[j]) + (1-a.Beta1)*gf
+			vf := a.Beta2*float64(v.Data[j]) + (1-a.Beta2)*gf*gf
+			m.Data[j] = T(mf)
+			v.Data[j] = T(vf)
+			mhat := mf / bc1
+			vhat := vf / bc2
+			p.W.Data[j] = T(float64(p.W.Data[j]) - a.LR*mhat/(math.Sqrt(vhat)+a.Eps))
 		}
 		p.G.Zero()
 	}

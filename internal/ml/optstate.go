@@ -6,20 +6,24 @@ import (
 	"trail/internal/mat"
 )
 
-// AdamState is the serialisable optimiser state: hyperparameters, step
+// AdamStateOf is the serialisable optimiser state: hyperparameters, step
 // count and both moment accumulators. Together with the model weights and
 // the RNG position it is everything a training loop needs to resume
-// bit-identically after a crash.
-type AdamState struct {
+// bit-identically after a crash. Moments are stored at the model's
+// element type; the hyperparameters stay float64 at every precision.
+type AdamStateOf[T mat.Float] struct {
 	LR, Beta1, Beta2, Eps float64
 	T                     int
-	M, V                  []*mat.Matrix
+	M, V                  []*mat.Dense[T]
 }
+
+// AdamState is the float64 instantiation of AdamStateOf.
+type AdamState = AdamStateOf[float64]
 
 // State deep-copies the optimiser state for checkpointing (safe to hand
 // to an asynchronous writer while training continues).
-func (a *Adam) State() AdamState {
-	st := AdamState{LR: a.LR, Beta1: a.Beta1, Beta2: a.Beta2, Eps: a.Eps, T: a.t}
+func (a *AdamOf[T]) State() AdamStateOf[T] {
+	st := AdamStateOf[T]{LR: a.LR, Beta1: a.Beta1, Beta2: a.Beta2, Eps: a.Eps, T: a.t}
 	for i := range a.m {
 		st.M = append(st.M, a.m[i].Clone())
 		st.V = append(st.V, a.v[i].Clone())
@@ -30,7 +34,7 @@ func (a *Adam) State() AdamState {
 // Restore overwrites the optimiser with a checkpointed state. The state
 // must have been captured from an optimiser over the same parameter
 // shapes; a mismatch is reported rather than silently corrupting moments.
-func (a *Adam) Restore(st AdamState) error {
+func (a *AdamOf[T]) Restore(st AdamStateOf[T]) error {
 	if len(st.M) != len(a.params) || len(st.V) != len(a.params) {
 		return fmt.Errorf("ml: Adam.Restore: state has %d/%d moment tensors, optimiser has %d params",
 			len(st.M), len(st.V), len(a.params))

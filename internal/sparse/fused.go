@@ -33,7 +33,7 @@ import (
 // dst must be s.Rows × wMean.Cols and must not alias x. The receiver
 // must be square with s.Rows == x.Rows; wMean and wSelf are
 // x.Cols × dst.Cols; bias has length dst.Cols.
-func (s *Matrix) SAGELayerInto(dst, x, wMean, wSelf *mat.Matrix, bias []float64) {
+func (s *CSR[T]) SAGELayerInto(dst, x, wMean, wSelf *mat.Dense[T], bias []T) {
 	if s.Rows != s.Cols || s.Cols != x.Rows {
 		panic(fmt.Sprintf("sparse: SAGELayerInto operator %dx%d over %d-row features", s.Rows, s.Cols, x.Rows))
 	}
@@ -55,7 +55,7 @@ func (s *Matrix) SAGELayerInto(dst, x, wMean, wSelf *mat.Matrix, bias []float64)
 		// Per-block scratch: one mean row (din) and one self-path
 		// accumulator row (dout), pooled so steady-state runs allocation
 		// free.
-		scr := scratchPool.Get().(*scratch)
+		scr, scrPool := getScratch[T]()
 		meanrow := scr.grow(din + dout)
 		srow := meanrow[din : din+dout]
 		meanrow = meanrow[:din]
@@ -99,7 +99,9 @@ func (s *Matrix) SAGELayerInto(dst, x, wMean, wSelf *mat.Matrix, bias []float64)
 				drow[j] += v
 			}
 		}
-		scratchPool.Put(scr)
+		if scrPool != nil {
+			scrPool.Put(scr)
+		}
 	}
 	work := (s.NNZ() + s.Rows) * din * dout
 	if work < minParFlops {
@@ -114,14 +116,30 @@ func (s *Matrix) SAGELayerInto(dst, x, wMean, wSelf *mat.Matrix, bias []float64)
 	par.For(s.Rows, grain, body)
 }
 
-// scratch is a grow-only float64 buffer recycled across kernel blocks.
-type scratch struct{ buf []float64 }
+// scratch is a grow-only buffer recycled across kernel blocks, one pool
+// per concrete element type.
+type scratch[T mat.Float] struct{ buf []T }
 
-func (s *scratch) grow(n int) []float64 {
+func (s *scratch[T]) grow(n int) []T {
 	if cap(s.buf) < n {
-		s.buf = make([]float64, n)
+		s.buf = make([]T, n)
 	}
 	return s.buf[:n]
 }
 
-var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+var (
+	scratchPool64 = sync.Pool{New: func() any { return &scratch[float64]{} }}
+	scratchPool32 = sync.Pool{New: func() any { return &scratch[float32]{} }}
+)
+
+// getScratch borrows a scratch buffer and reports the pool to return it
+// to (nil for exotic element types, which allocate fresh).
+func getScratch[T mat.Float]() (*scratch[T], *sync.Pool) {
+	switch any(T(0)).(type) {
+	case float64:
+		return scratchPool64.Get().(*scratch[T]), &scratchPool64
+	case float32:
+		return scratchPool32.Get().(*scratch[T]), &scratchPool32
+	}
+	return &scratch[T]{}, nil
+}

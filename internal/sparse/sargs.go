@@ -13,33 +13,58 @@ import (
 // exactly the closure it replaces; the determinism contract (per-row
 // accumulation in CSR entry order within row-partitioned blocks) is
 // unchanged.
-type sargs struct {
-	s        *Matrix
-	dst, x   *mat.Matrix
+//
+// One pool per concrete element type keeps Get/Put monomorphic; exotic
+// named Float types fall back to a fresh carrier per call.
+type sargs[T mat.Float] struct {
+	s        *CSR[T]
+	dst, x   *mat.Dense[T]
 	spmmBody func(lo, hi int)
 }
 
-var sargsPool = sync.Pool{New: func() any {
-	j := &sargs{}
+func newSargs[T mat.Float]() *sargs[T] {
+	j := &sargs[T]{}
 	j.spmmBody = j.spmm
 	return j
-}}
+}
 
-func getSargs(s *Matrix, dst, x *mat.Matrix) *sargs {
-	j := sargsPool.Get().(*sargs)
+var (
+	sargsPool64 = sync.Pool{New: func() any { return newSargs[float64]() }}
+	sargsPool32 = sync.Pool{New: func() any { return newSargs[float32]() }}
+)
+
+func sargsPoolFor[T mat.Float]() *sync.Pool {
+	switch any(T(0)).(type) {
+	case float64:
+		return &sargsPool64
+	case float32:
+		return &sargsPool32
+	}
+	return nil
+}
+
+func getSargs[T mat.Float](s *CSR[T], dst, x *mat.Dense[T]) *sargs[T] {
+	var j *sargs[T]
+	if p := sargsPoolFor[T](); p != nil {
+		j = p.Get().(*sargs[T])
+	} else {
+		j = newSargs[T]()
+	}
 	j.s, j.dst, j.x = s, dst, x
 	return j
 }
 
-func (j *sargs) put() {
+func (j *sargs[T]) put() {
 	j.s, j.dst, j.x = nil, nil, nil
-	sargsPool.Put(j)
+	if p := sargsPoolFor[T](); p != nil {
+		p.Put(j)
+	}
 }
 
 // spmm is the SpMMInto block body: per output row, accumulate CSR
 // entries in order, then apply RowScale. The carrier fields are hoisted
 // into locals so the hot loops keep them in registers (see mat's kargs).
-func (j *sargs) spmm(lo, hi int) {
+func (j *sargs[T]) spmm(lo, hi int) {
 	s, x, dst := j.s, j.x, j.dst
 	for i := lo; i < hi; i++ {
 		drow := dst.Row(i)

@@ -6,6 +6,13 @@
 // aggregation loop over adjacency lists; now they build one CSR snapshot
 // of the TKG and differ only in how the edge values are normalised.
 //
+// The element type of the value arrays is a parameter (CSR[T] with
+// T = float32 | float64); Matrix is the float64 reference alias. As in
+// internal/mat, the float64 instantiation is bit-identical to the
+// pre-generic code, scalar row-sum reductions accumulate in float64 at
+// every precision, and the per-row vector accumulation of SpMM stays in
+// storage precision (it is the bandwidth the float32 path halves).
+//
 // # Determinism contract
 //
 // Entry order within a CSR row is preserved from the source adjacency
@@ -15,6 +22,17 @@
 // parallel runs, and bit-identical to the adjacency-list loops the
 // normalisation constructors replace (verified by equivalence tests in
 // labelprop and gnn). No atomics or locks ever touch float accumulation.
+//
+// # Cache-aware reordering
+//
+// Reordered returns a degree-descending permuted view of a square CSR
+// together with the Permutation that maps between orderings. Because a
+// permutation that preserves per-row entry order relocates rows without
+// touching any accumulation chain, row r of the permuted product equals
+// row Perm[r] of the original product bit for bit — so consumers
+// (labelprop, GNN inference) can run entirely in permuted space for
+// locality and scatter the results back into original vertex order with
+// zero arithmetic difference. See DESIGN.md §3f.
 //
 // A Matrix is immutable once constructed: constructors that re-weight
 // (SymNormalized, MeanNormalized, ...) share the structure arrays of
@@ -30,21 +48,21 @@ import (
 	"trail/internal/par"
 )
 
-// Matrix is a CSR sparse matrix. Row i's entries are
-// ColIdx[RowPtr[i]:RowPtr[i+1]] with values Val[RowPtr[i]:RowPtr[i+1]].
+// CSR is a sparse matrix in compressed sparse row form. Row i's entries
+// are ColIdx[RowPtr[i]:RowPtr[i+1]] with values Val[RowPtr[i]:RowPtr[i+1]].
 // If RowScale is non-nil, the logical entry value is Val[k]*RowScale[i]:
 // kernels accumulate the raw Val products first and multiply the
 // finished row by RowScale[i], which is exactly the sum-then-scale
 // arithmetic of a mean aggregator (and bit-identical to it).
-type Matrix struct {
+type CSR[T mat.Float] struct {
 	Rows, Cols int
 	RowPtr     []int
 	ColIdx     []int32
-	Val        []float64
-	RowScale   []float64
+	Val        []T
+	RowScale   []T
 
 	tOnce sync.Once
-	t     *Matrix // cached transpose, built on first SpMMTrans/MulTrans
+	t     *CSR[T] // cached transpose, built on first SpMMTrans/MulTrans
 
 	// Normalisation caches: matrices are immutable once constructed and
 	// the normalised variants are pure functions of the receiver, so the
@@ -52,13 +70,27 @@ type Matrix struct {
 	// operators) can share one result instead of re-deriving value
 	// arrays on every call.
 	symOnce, loopOnce, meanOnce sync.Once
-	symN, loopN, meanN          *Matrix
+	symN, loopN, meanN          *CSR[T]
+
+	// Reordering cache: the degree-descending permuted view and its
+	// permutation, built on first Reordered call.
+	reordOnce sync.Once
+	reordM    *CSR[T]
+	reordP    *Permutation
 }
 
-// New wraps raw CSR arrays without copying; the caller must not mutate
-// them afterwards. A nil val means all entries are 1 (an unweighted
-// adjacency) and is materialised as ones.
+// Matrix is the float64 reference instantiation of CSR.
+type Matrix = CSR[float64]
+
+// New wraps raw float64 CSR arrays without copying; the caller must not
+// mutate them afterwards. A nil val means all entries are 1 (an
+// unweighted adjacency) and is materialised as ones.
 func New(rows, cols int, rowPtr []int, colIdx []int32, val []float64) *Matrix {
+	return NewOf[float64](rows, cols, rowPtr, colIdx, val)
+}
+
+// NewOf is New at any element type.
+func NewOf[T mat.Float](rows, cols int, rowPtr []int, colIdx []int32, val []T) *CSR[T] {
 	if len(rowPtr) != rows+1 {
 		panic(fmt.Sprintf("sparse: RowPtr length %d != rows+1 (%d)", len(rowPtr), rows+1))
 	}
@@ -67,14 +99,14 @@ func New(rows, cols int, rowPtr []int, colIdx []int32, val []float64) *Matrix {
 		panic(fmt.Sprintf("sparse: ColIdx length %d != nnz %d", len(colIdx), nnz))
 	}
 	if val == nil {
-		val = make([]float64, nnz)
+		val = make([]T, nnz)
 		for i := range val {
 			val[i] = 1
 		}
 	} else if len(val) != nnz {
 		panic(fmt.Sprintf("sparse: Val length %d != nnz %d", len(val), nnz))
 	}
-	return &Matrix{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	return &CSR[T]{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
 }
 
 // FromAdj builds an unweighted square CSR from adjacency lists, one row
@@ -97,12 +129,35 @@ func FromAdj[T ~int32](adj [][]T) *Matrix {
 	return New(n, n, rowPtr, colIdx, nil)
 }
 
+// Cast returns s converted to element type T. When s is already a
+// *CSR[T] it is returned unchanged; otherwise the structure arrays
+// (RowPtr, ColIdx) are shared and fresh value arrays are rounded
+// element-wise. Normalisation caches are not carried over — convert
+// before normalising, or re-normalise after.
+func Cast[T, U mat.Float](s *CSR[U]) *CSR[T] {
+	if m, ok := any(s).(*CSR[T]); ok {
+		return m
+	}
+	val := make([]T, len(s.Val))
+	for i, v := range s.Val {
+		val[i] = T(v)
+	}
+	var scale []T
+	if s.RowScale != nil {
+		scale = make([]T, len(s.RowScale))
+		for i, v := range s.RowScale {
+			scale[i] = T(v)
+		}
+	}
+	return &CSR[T]{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: val, RowScale: scale}
+}
+
 // NNZ returns the number of stored entries.
-func (s *Matrix) NNZ() int { return s.RowPtr[s.Rows] }
+func (s *CSR[T]) NNZ() int { return s.RowPtr[s.Rows] }
 
 // Degrees returns the number of stored entries per row (the node degree
 // for an adjacency CSR).
-func (s *Matrix) Degrees() []int {
+func (s *CSR[T]) Degrees() []int {
 	out := make([]int, s.Rows)
 	for i := range out {
 		out[i] = s.RowPtr[i+1] - s.RowPtr[i]
@@ -111,16 +166,17 @@ func (s *Matrix) Degrees() []int {
 }
 
 // RowSums returns the per-row sums of the logical entry values
-// (Val*RowScale). For an unweighted adjacency this is the degree.
-func (s *Matrix) RowSums() []float64 {
+// (Val*RowScale), accumulated in float64. For an unweighted adjacency
+// this is the degree.
+func (s *CSR[T]) RowSums() []float64 {
 	out := make([]float64, s.Rows)
 	for i := 0; i < s.Rows; i++ {
 		sum := 0.0
 		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
-			sum += s.Val[k]
+			sum += float64(s.Val[k])
 		}
 		if s.RowScale != nil {
-			sum *= s.RowScale[i]
+			sum *= float64(s.RowScale[i])
 		}
 		out[i] = sum
 	}
@@ -131,7 +187,7 @@ func (s *Matrix) RowSums() []float64 {
 // entry values and optional row scales (either may be nil: nil val keeps
 // s's values, nil rowScale means none). Used by callers that re-weight a
 // fixed edge structure — e.g. the GNN explainer's learned edge mask.
-func (s *Matrix) WithValues(val, rowScale []float64) *Matrix {
+func (s *CSR[T]) WithValues(val, rowScale []T) *CSR[T] {
 	if val == nil {
 		val = s.Val
 	} else if len(val) != s.NNZ() {
@@ -140,7 +196,7 @@ func (s *Matrix) WithValues(val, rowScale []float64) *Matrix {
 	if rowScale != nil && len(rowScale) != s.Rows {
 		panic(fmt.Sprintf("sparse: WithValues rowScale length %d != rows %d", len(rowScale), s.Rows))
 	}
-	return &Matrix{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: val, RowScale: rowScale}
+	return &CSR[T]{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: val, RowScale: rowScale}
 }
 
 // SymNormalized returns D^{-1/2} S D^{-1/2}: entry (i,j) becomes
@@ -149,17 +205,17 @@ func (s *Matrix) WithValues(val, rowScale []float64) *Matrix {
 // weight. The receiver must be square and must not use RowScale. The
 // result is computed once per receiver and shared by later calls (it is
 // immutable, like every constructed Matrix).
-func (s *Matrix) SymNormalized() *Matrix {
+func (s *CSR[T]) SymNormalized() *CSR[T] {
 	s.mustSquarePlain("SymNormalized")
 	s.symOnce.Do(func() {
 		invSqrt := s.invSqrtRowSums(0)
-		val := make([]float64, s.NNZ())
+		val := make([]T, s.NNZ())
 		for i := 0; i < s.Rows; i++ {
 			for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
-				val[k] = s.Val[k] * (invSqrt[i] * invSqrt[int(s.ColIdx[k])])
+				val[k] = T(float64(s.Val[k]) * (invSqrt[i] * invSqrt[int(s.ColIdx[k])]))
 			}
 		}
-		s.symN = &Matrix{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: val}
+		s.symN = &CSR[T]{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: val}
 	})
 	return s.symN
 }
@@ -171,19 +227,19 @@ func (s *Matrix) SymNormalized() *Matrix {
 // the same accumulation order as the loop nest it replaced. The receiver
 // must be square, must not use RowScale, and must not already contain
 // diagonal entries.
-func (s *Matrix) SymNormalizedWithSelfLoops() *Matrix {
+func (s *CSR[T]) SymNormalizedWithSelfLoops() *CSR[T] {
 	s.mustSquarePlain("SymNormalizedWithSelfLoops")
 	s.loopOnce.Do(func() {
 		invSqrt := s.invSqrtRowSums(1)
 		n := s.Rows
 		rowPtr := make([]int, n+1)
 		colIdx := make([]int32, s.NNZ()+n)
-		val := make([]float64, s.NNZ()+n)
+		val := make([]T, s.NNZ()+n)
 		k := 0
 		for i := 0; i < n; i++ {
 			rowPtr[i] = k
 			colIdx[k] = int32(i)
-			val[k] = invSqrt[i] * invSqrt[i]
+			val[k] = T(invSqrt[i] * invSqrt[i])
 			k++
 			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
 				j := s.ColIdx[p]
@@ -191,12 +247,12 @@ func (s *Matrix) SymNormalizedWithSelfLoops() *Matrix {
 					panic("sparse: SymNormalizedWithSelfLoops on matrix with existing diagonal entries")
 				}
 				colIdx[k] = j
-				val[k] = s.Val[p] * (invSqrt[i] * invSqrt[j])
+				val[k] = T(float64(s.Val[p]) * (invSqrt[i] * invSqrt[j]))
 				k++
 			}
 		}
 		rowPtr[n] = k
-		s.loopN = &Matrix{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+		s.loopN = &CSR[T]{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
 	})
 	if s.loopN == nil {
 		panic("sparse: SymNormalizedWithSelfLoops on matrix with existing diagonal entries")
@@ -209,34 +265,34 @@ func (s *Matrix) SymNormalizedWithSelfLoops() *Matrix {
 // values and sets RowScale = 1/rowsum (0 for empty rows), so SpMM sums
 // first and scales once per row — bit-identical to the sum-then-divide
 // aggregation loop it replaced. The receiver must not use RowScale.
-func (s *Matrix) MeanNormalized() *Matrix {
+func (s *CSR[T]) MeanNormalized() *CSR[T] {
 	if s.RowScale != nil {
 		panic("sparse: MeanNormalized on already row-scaled matrix")
 	}
 	s.meanOnce.Do(func() {
-		scale := make([]float64, s.Rows)
+		scale := make([]T, s.Rows)
 		for i := 0; i < s.Rows; i++ {
 			sum := 0.0
 			for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
-				sum += s.Val[k]
+				sum += float64(s.Val[k])
 			}
 			if sum > 0 {
-				scale[i] = 1 / sum
+				scale[i] = T(1 / sum)
 			}
 		}
-		s.meanN = &Matrix{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: s.Val, RowScale: scale}
+		s.meanN = &CSR[T]{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: s.Val, RowScale: scale}
 	})
 	return s.meanN
 }
 
 // invSqrtRowSums returns 1/sqrt(rowsum+shift) per row (0 for rows whose
-// shifted sum is 0).
-func (s *Matrix) invSqrtRowSums(shift float64) []float64 {
+// shifted sum is 0), accumulated in float64.
+func (s *CSR[T]) invSqrtRowSums(shift float64) []float64 {
 	out := make([]float64, s.Rows)
 	for i := 0; i < s.Rows; i++ {
 		sum := shift
 		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
-			sum += s.Val[k]
+			sum += float64(s.Val[k])
 		}
 		if sum > 0 {
 			out[i] = 1 / math.Sqrt(sum)
@@ -245,7 +301,7 @@ func (s *Matrix) invSqrtRowSums(shift float64) []float64 {
 	return out
 }
 
-func (s *Matrix) mustSquarePlain(op string) {
+func (s *CSR[T]) mustSquarePlain(op string) {
 	if s.Rows != s.Cols {
 		panic(fmt.Sprintf("sparse: %s on non-square %dx%d matrix", op, s.Rows, s.Cols))
 	}
@@ -260,7 +316,7 @@ func (s *Matrix) mustSquarePlain(op string) {
 // transpose-SpMM reproduces the hand-rolled backward scatters bit for
 // bit. The result is cached by SpMMTrans/MulTrans; calling Transpose
 // directly always builds a fresh matrix.
-func (s *Matrix) Transpose() *Matrix {
+func (s *CSR[T]) Transpose() *CSR[T] {
 	nnz := s.NNZ()
 	rowPtr := make([]int, s.Cols+1)
 	for _, j := range s.ColIdx {
@@ -270,11 +326,11 @@ func (s *Matrix) Transpose() *Matrix {
 		rowPtr[i+1] += rowPtr[i]
 	}
 	colIdx := make([]int32, nnz)
-	val := make([]float64, nnz)
+	val := make([]T, nnz)
 	cursor := make([]int, s.Cols)
 	copy(cursor, rowPtr[:s.Cols])
 	for i := 0; i < s.Rows; i++ {
-		scale := 1.0
+		var scale T = 1
 		if s.RowScale != nil {
 			scale = s.RowScale[i]
 		}
@@ -290,12 +346,12 @@ func (s *Matrix) Transpose() *Matrix {
 			cursor[j] = c + 1
 		}
 	}
-	return &Matrix{Rows: s.Cols, Cols: s.Rows, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	return &CSR[T]{Rows: s.Cols, Cols: s.Rows, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
 }
 
 // transposed returns the cached transpose, building it on first use.
 // Safe for concurrent callers.
-func (s *Matrix) transposed() *Matrix {
+func (s *CSR[T]) transposed() *CSR[T] {
 	s.tOnce.Do(func() { s.t = s.Transpose() })
 	return s.t
 }
@@ -311,13 +367,13 @@ const (
 
 // SpMM computes dst = s·x, overwriting dst; it is SpMMInto under the
 // historical name.
-func (s *Matrix) SpMM(dst, x *mat.Matrix) { s.SpMMInto(dst, x) }
+func (s *CSR[T]) SpMM(dst, x *mat.Dense[T]) { s.SpMMInto(dst, x) }
 
 // SpMMInto computes dst = s·x, overwriting dst. dst must be s.Rows ×
 // x.Cols with x s.Cols rows, and must not alias x. Each output row
 // accumulates its entries in CSR order, then applies RowScale, so
 // results are bit-identical at any parallelism level.
-func (s *Matrix) SpMMInto(dst, x *mat.Matrix) {
+func (s *CSR[T]) SpMMInto(dst, x *mat.Dense[T]) {
 	if s.Cols != x.Rows || dst.Rows != s.Rows || dst.Cols != x.Cols {
 		panic(fmt.Sprintf("sparse: SpMM %dx%d = %dx%d * %dx%d",
 			dst.Rows, dst.Cols, s.Rows, s.Cols, x.Rows, x.Cols))
@@ -345,23 +401,23 @@ func (s *Matrix) SpMMInto(dst, x *mat.Matrix) {
 // SpMMTrans computes dst = sᵀ·x, overwriting dst, via a transpose CSR
 // that is built once per matrix and cached. dst must be s.Cols × x.Cols
 // with x s.Rows rows.
-func (s *Matrix) SpMMTrans(dst, x *mat.Matrix) {
+func (s *CSR[T]) SpMMTrans(dst, x *mat.Dense[T]) {
 	s.transposed().SpMMInto(dst, x)
 }
 
 // SpMMTransInto is SpMMTrans under the Into-kernel naming convention.
-func (s *Matrix) SpMMTransInto(dst, x *mat.Matrix) { s.SpMMTrans(dst, x) }
+func (s *CSR[T]) SpMMTransInto(dst, x *mat.Dense[T]) { s.SpMMTrans(dst, x) }
 
 // Mul returns s·x as a fresh matrix.
-func (s *Matrix) Mul(x *mat.Matrix) *mat.Matrix {
-	dst := mat.New(s.Rows, x.Cols)
+func (s *CSR[T]) Mul(x *mat.Dense[T]) *mat.Dense[T] {
+	dst := mat.NewOf[T](s.Rows, x.Cols)
 	s.SpMM(dst, x)
 	return dst
 }
 
 // MulTrans returns sᵀ·x as a fresh matrix.
-func (s *Matrix) MulTrans(x *mat.Matrix) *mat.Matrix {
-	dst := mat.New(s.Cols, x.Cols)
+func (s *CSR[T]) MulTrans(x *mat.Dense[T]) *mat.Dense[T] {
+	dst := mat.NewOf[T](s.Cols, x.Cols)
 	s.SpMMTrans(dst, x)
 	return dst
 }
