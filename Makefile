@@ -4,9 +4,9 @@ GO ?= go
 # gates against. Bump it once per PR that intentionally moves perf;
 # benchjson's compare mode also auto-discovers the highest-numbered
 # BENCH_<n>.json when invoked without -baseline.
-BENCH_BASELINE ?= BENCH_6.json
+BENCH_BASELINE ?= BENCH_7.json
 
-.PHONY: all build test race bench bench-kernels bench-json bench-check vet chaos resume smoke
+.PHONY: all build test race bench bench-kernels bench-json bench-check vet chaos resume smoke serve-smoke
 
 all: build test
 
@@ -63,6 +63,13 @@ bench-check:
 # whole-pipeline sanity check (graph build, encoders, LP, SAGE, eval).
 smoke:
 	$(GO) run ./examples/quickstart
+
+# serve-smoke is the serving-layer gate: train a 1-epoch model on the
+# tiny world, start `trail serve`, exercise every endpoint (attribute,
+# stats, sample, reload, metrics), run a loadgen burst, and require a
+# graceful SIGTERM drain. See DESIGN.md §3g.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 vet:
 	$(GO) vet ./...

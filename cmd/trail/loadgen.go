@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// cmdLoadgen drives a running `trail serve` at fixed concurrency: it
+// samples a key corpus from /v1/sample, hammers /v1/attribute from -c
+// parallel clients for -duration, and reports throughput plus latency
+// percentiles (and machine-readable JSON with -out).
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	base := fs.String("url", "http://127.0.0.1:8099", "base URL of a running `trail serve`")
+	conc := fs.Int("c", 64, "concurrent clients")
+	dur := fs.Duration("duration", 10*time.Second, "how long to generate load")
+	kind := fs.String("kind", "event", "node kind to query (event|ip|url|domain|asn)")
+	nkeys := fs.Int("keys", 256, "distinct keys sampled from the server")
+	topk := fs.Int("topk", 3, "ranked predictions requested per query")
+	out := fs.String("out", "", "also write the report as JSON to this path")
+	fs.Parse(args)
+
+	keys, err := sampleKeys(*base, *kind, *nkeys)
+	if err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("loadgen: server has no %q keys to query", *kind)
+	}
+
+	// The default transport keeps only 2 idle conns per host; at -c 64
+	// that would churn a fresh TCP connection per request.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * *conc,
+		MaxIdleConnsPerHost: 2 * *conc,
+	}}
+	endpoint := *base + "/v1/attribute"
+
+	type workerStats struct {
+		latencies []time.Duration
+		errors    int
+	}
+	stats := make([]workerStats, *conc)
+	deadline := time.Now().Add(*dur)
+	started := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			for i := 0; time.Now().Before(deadline); i++ {
+				body, _ := json.Marshal(map[string]any{
+					"kind": *kind, "key": keys[(w+i)%len(keys)], "top_k": *topk,
+				})
+				t0 := time.Now()
+				resp, err := client.Post(endpoint, "application/json", bytes.NewReader(body))
+				if err != nil {
+					st.errors++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					st.errors++
+					continue
+				}
+				st.latencies = append(st.latencies, time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	var all []time.Duration
+	errors := 0
+	for _, st := range stats {
+		all = append(all, st.latencies...)
+		errors += st.errors
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("loadgen: no request succeeded (%d errors) — is `trail serve` running at %s?", errors, *base)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) time.Duration { return all[int(q*float64(len(all)-1))] }
+	rps := float64(len(all)) / elapsed.Seconds()
+
+	fmt.Printf("loadgen: %d clients for %s against %s (%d keys, kind %s)\n",
+		*conc, elapsed.Round(time.Millisecond), *base, len(keys), *kind)
+	fmt.Printf("  requests    %d ok, %d errors\n", len(all), errors)
+	fmt.Printf("  throughput  %.1f req/s\n", rps)
+	fmt.Printf("  latency     p50 %s  p90 %s  p99 %s  max %s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+
+	if *out != "" {
+		report := map[string]any{
+			"clients":          *conc,
+			"duration_seconds": elapsed.Seconds(),
+			"kind":             *kind,
+			"keys":             len(keys),
+			"requests":         len(all),
+			"errors":           errors,
+			"req_per_second":   rps,
+			"p50_ms":           float64(pct(0.50)) / float64(time.Millisecond),
+			"p90_ms":           float64(pct(0.90)) / float64(time.Millisecond),
+			"p99_ms":           float64(pct(0.99)) / float64(time.Millisecond),
+			"max_ms":           float64(all[len(all)-1]) / float64(time.Millisecond),
+		}
+		raw, _ := json.MarshalIndent(report, "", "  ")
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("report written to", *out)
+	}
+	return nil
+}
+
+func sampleKeys(base, kind string, limit int) ([]string, error) {
+	u := base + "/v1/sample?kind=" + url.QueryEscape(kind) + "&limit=" + strconv.Itoa(limit)
+	resp, err := http.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: sample keys: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: GET /v1/sample: %d %s", resp.StatusCode, body)
+	}
+	var sample struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.Unmarshal(body, &sample); err != nil {
+		return nil, fmt.Errorf("loadgen: bad sample response: %w", err)
+	}
+	return sample.Keys, nil
+}

@@ -8,9 +8,13 @@
 //	trail world       [-seed N] [-months N] [-events N] [-out pulses.ndjson]
 //	trail build       [-seed N] [-months N] [-events N] [-out tkg.gob]
 //	trail stats       [-seed N] [-months N] [-events N]
-//	trail train       [-seed N] [-layers N] [-epochs N] [-dir ckpt] [-resume] [-every N]
+//	trail train       [-seed N] [-layers N] [-epochs N] [-dir ckpt] [-resume] [-every N] [-f32]
+//	trail attribute   [-seed N] [-tkg tkg.gob] [-feed pulses.ndjson]
+//	trail serve       [-seed N] [-dir ckpt] [-addr HOST:PORT] [-max-batch N] [-max-wait D]
+//	trail loadgen     [-url URL] [-c N] [-duration D] [-out report.json]
 //	trail casestudy   [-seed N] [-fast]
 //	trail experiments [-seed N] [-fast] [-only table2,fig4,...] [-resume DIR] [-md EXPERIMENTS.md]
+//	trail help [command]
 package main
 
 import (
@@ -32,55 +36,77 @@ import (
 	"trail/internal/graph"
 	"trail/internal/labelprop"
 	"trail/internal/osint"
+	"trail/internal/serve"
 )
+
+// command is one subcommand in the registry that drives dispatch, the
+// top-level usage listing, and `trail help <command>` (which re-runs the
+// command with -h so its FlagSet prints every flag with its default).
+type command struct {
+	name    string
+	summary string
+	run     func(args []string) error
+}
+
+var commands = []command{
+	{"world", "generate the synthetic OSINT pulse feed (NDJSON)", cmdWorld},
+	{"build", "build the TRAIL knowledge graph and save a full snapshot", cmdBuild},
+	{"stats", "print the Table II dataset report and graph structure", cmdStats},
+	{"train", "train the production GNN with interrupt-safe checkpoints", cmdTrain},
+	{"attribute", "attribute pulses from a feed against a TKG snapshot", cmdAttribute},
+	{"serve", "serve attribution over HTTP from a training checkpoint directory", cmdServe},
+	{"loadgen", "hammer a running serve daemon and report latency percentiles", cmdLoadgen},
+	{"casestudy", "attribute a never-seen event (paper §VII-C)", cmdCaseStudy},
+	{"experiments", "run every table/figure of the evaluation", cmdExperiments},
+}
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
-	switch cmd {
-	case "world":
-		err = cmdWorld(args)
-	case "build":
-		err = cmdBuild(args)
-	case "stats":
-		err = cmdStats(args)
-	case "train":
-		err = cmdTrain(args)
-	case "attribute":
-		err = cmdAttribute(args)
-	case "casestudy":
-		err = cmdCaseStudy(args)
-	case "experiments":
-		err = cmdExperiments(args)
-	case "help", "-h", "--help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "trail: unknown command %q\n", cmd)
+	name, args := os.Args[1], os.Args[2:]
+	if name == "help" || name == "-h" || name == "--help" {
+		if len(args) == 0 {
+			usage()
+			return
+		}
+		if c := lookupCommand(args[0]); c != nil {
+			fmt.Fprintf(os.Stderr, "trail %s — %s\n\n", c.name, c.summary)
+			c.run([]string{"-h"}) // ExitOnError FlagSets print defaults and exit 0
+			return
+		}
+		fmt.Fprintf(os.Stderr, "trail: unknown command %q\n", args[0])
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
+	c := lookupCommand(name)
+	if c == nil {
+		fmt.Fprintf(os.Stderr, "trail: unknown command %q\n", name)
+		usage()
+		os.Exit(2)
+	}
+	if err := c.run(args); err != nil {
 		fmt.Fprintln(os.Stderr, "trail:", err)
 		os.Exit(1)
 	}
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `trail — knowledge-graph APT attribution (TRAIL reproduction)
+func lookupCommand(name string) *command {
+	for i := range commands {
+		if commands[i].name == name {
+			return &commands[i]
+		}
+	}
+	return nil
+}
 
-commands:
-  world        generate the synthetic OSINT pulse feed (NDJSON)
-  build        build the TRAIL knowledge graph and save a full snapshot
-  stats        print the Table II dataset report and graph structure
-  train        train the production GNN with interrupt-safe checkpoints
-  attribute    attribute pulses from a feed against a TKG snapshot
-  casestudy    attribute a never-seen event (paper §VII-C)
-  experiments  run every table/figure of the evaluation
-`)
+func usage() {
+	fmt.Fprint(os.Stderr, "trail — knowledge-graph APT attribution (TRAIL reproduction)\n\nusage: trail <command> [flags]\n\ncommands:\n")
+	for _, c := range commands {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", c.name, c.summary)
+	}
+	fmt.Fprint(os.Stderr, "\nrun `trail help <command>` for that command's flags and defaults\n")
 }
 
 func worldFlags(fs *flag.FlagSet) *osint.WorldConfig {
@@ -227,6 +253,7 @@ func cmdTrain(args []string) error {
 	dir := fs2.String("dir", "trail-ckpt", "checkpoint directory")
 	resume := fs2.Bool("resume", false, "resume from checkpoints in -dir")
 	every := fs2.Int("every", 1, "epochs between checkpoints")
+	f32 := fs2.Bool("f32", false, "also write a float32 serving checkpoint (model.f32.ck, preferred by `trail serve`)")
 	fs2.Parse(args)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -235,9 +262,9 @@ func cmdTrain(args []string) error {
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
-	encPath := filepath.Join(*dir, "encoders.ck")
+	encPath := filepath.Join(*dir, serve.EncodersFile)
 	trainPath := filepath.Join(*dir, "train.ck")
-	modelPath := filepath.Join(*dir, "model.ck")
+	modelPath := filepath.Join(*dir, serve.ModelFile)
 
 	opts := eval.DefaultOptions()
 	opts.World = *cfg
@@ -246,7 +273,13 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("TKG ready: %d nodes, %d events\n", ectx.TKG.G.NumNodes(), len(ectx.TKG.EventNodes()))
+	// The TKG snapshot rides along in the checkpoint directory so `trail
+	// serve -dir` finds graph, encoders and model in one place.
+	if err := ectx.TKG.Save(filepath.Join(*dir, serve.TKGFile)); err != nil {
+		return err
+	}
+	fmt.Printf("TKG ready: %d nodes, %d events (snapshot in %s)\n",
+		ectx.TKG.G.NumNodes(), len(ectx.TKG.EventNodes()), filepath.Join(*dir, serve.TKGFile))
 
 	// A resumed run keeps the checkpointed config's epoch budget (the flag
 	// is ignored — changing it would break bit-identical resume), so the
@@ -330,6 +363,13 @@ func cmdTrain(args []string) error {
 	}
 	os.Remove(trainPath) // the run is complete; the mid-training state is obsolete
 	fmt.Println("model written to", modelPath)
+	if *f32 {
+		f32Path := filepath.Join(*dir, serve.ModelF32File)
+		if err := gnn.SaveModel(f32Path, gnn.CastModel[float32](model)); err != nil {
+			return err
+		}
+		fmt.Println("float32 serving model written to", f32Path)
+	}
 	return nil
 }
 

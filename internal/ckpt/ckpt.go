@@ -190,6 +190,57 @@ func Save(path, kind string, version uint32, payload []byte) error {
 	return nil
 }
 
+// Info describes a checkpoint envelope without its payload.
+type Info struct {
+	// Kind is the artefact tag (e.g. "gnn.sage", "gnn.sage.f32").
+	Kind string
+	// Version is the payload schema version.
+	Version uint32
+	// PayloadLen is the payload byte count the header declares. Peek does
+	// not read or verify the payload, so a truncated file can still report
+	// a full PayloadLen.
+	Length uint64
+}
+
+// Peek reads only the envelope header at path: the artefact kind, payload
+// version and declared length. The serving layer uses it to discover
+// which precision a model checkpoint holds (and to report snapshot
+// inventories) without decoding megabytes of weights. The payload is not
+// checksummed — use Load before trusting the contents.
+func Peek(path string) (Info, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Info{}, fmt.Errorf("ckpt: peek: %w", err)
+	}
+	defer f.Close()
+	var m [8]byte
+	if _, err := io.ReadFull(f, m[:]); err != nil {
+		return Info{}, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if m != magic {
+		return Info{}, ErrNotCheckpoint
+	}
+	var kindLen uint16
+	if err := binary.Read(f, binary.LittleEndian, &kindLen); err != nil {
+		return Info{}, fmt.Errorf("%w: kind length: %v", ErrTruncated, err)
+	}
+	if kindLen == 0 || kindLen > maxKindLen {
+		return Info{}, fmt.Errorf("%w: kind length %d out of range", ErrCorrupt, kindLen)
+	}
+	kindBuf := make([]byte, kindLen)
+	if _, err := io.ReadFull(f, kindBuf); err != nil {
+		return Info{}, fmt.Errorf("%w: kind: %v", ErrTruncated, err)
+	}
+	info := Info{Kind: string(kindBuf)}
+	if err := binary.Read(f, binary.LittleEndian, &info.Version); err != nil {
+		return Info{}, fmt.Errorf("%w: version: %v", ErrTruncated, err)
+	}
+	if err := binary.Read(f, binary.LittleEndian, &info.Length); err != nil {
+		return Info{}, fmt.Errorf("%w: length: %v", ErrTruncated, err)
+	}
+	return info, nil
+}
+
 // Load reads and verifies the envelope at path.
 func Load(path, kind string, wantVersion uint32) ([]byte, error) {
 	f, err := os.Open(path)

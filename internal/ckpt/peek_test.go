@@ -1,0 +1,70 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPeekReportsHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ck")
+	payload := []byte("0123456789")
+	if err := Save(path, "gnn.sage.f32", 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Peek(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != "gnn.sage.f32" || info.Version != 3 || info.Length != uint64(len(payload)) {
+		t.Fatalf("Peek = %+v", info)
+	}
+}
+
+func TestPeekMissingAndForeign(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Peek(filepath.Join(dir, "absent.ck")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: %v", err)
+	}
+	foreign := filepath.Join(dir, "foreign")
+	os.WriteFile(foreign, []byte("definitely not a checkpoint"), 0o644)
+	if _, err := Peek(foreign); !errors.Is(err, ErrNotCheckpoint) {
+		t.Fatalf("foreign file: %v", err)
+	}
+	short := filepath.Join(dir, "short")
+	os.WriteFile(short, []byte("TRAI"), 0o644)
+	if _, err := Peek(short); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short file: %v", err)
+	}
+}
+
+func TestPeekTruncatedHeader(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.ck")
+	if err := Save(full, "core.tkg", 1, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the header (before the length field ends): Peek must
+	// report truncation, not garbage.
+	cut := filepath.Join(dir, "cut.ck")
+	os.WriteFile(cut, b[:8+2+len("core.tkg")+2], 0o644)
+	if _, err := Peek(cut); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated header: %v", err)
+	}
+	// Cut inside the payload: the header is intact, so Peek succeeds —
+	// it documents that it does not verify payload bytes.
+	cutPayload := filepath.Join(dir, "cutp.ck")
+	os.WriteFile(cutPayload, b[:len(b)-3], 0o644)
+	info, err := Peek(cutPayload)
+	if err != nil {
+		t.Fatalf("payload-truncated peek: %v", err)
+	}
+	if info.Length != uint64(len("payload")) {
+		t.Fatalf("Length = %d", info.Length)
+	}
+}

@@ -743,16 +743,57 @@ func queryRow(perm *sparse.Permutation, q graph.NodeID) int {
 	return int(q)
 }
 
+// Classes returns the number of APT classes the model predicts over.
+func (m *ModelOf[T]) Classes() int { return m.classes }
+
 // PredictProba returns attribution distributions for the query events,
 // with the given event labels visible as input features.
 func (m *ModelOf[T]) PredictProba(in InputOf[T], visible map[graph.NodeID]int, queries []graph.NodeID) *mat.Dense[T] {
 	ws := mat.NewWorkspaceOf[T]()
 	defer ws.Release()
+	return m.PredictProbaInto(mat.NewOf[T](len(queries), m.classes), in, visible, queries, ws)
+}
+
+// PredictProbaInto is the batched serving entry: one full-graph forward
+// pass amortised across every query, with all matrix scratch borrowed
+// from ws (Reset by the caller between batches, so a serving loop that
+// issues same-shaped batches allocates nothing beyond the query-row
+// index). The query logit rows are gathered with one SelectRowsInto and
+// softmaxed in place into dst, which must be len(queries) x Classes().
+// Results are bit-identical to len(queries) separate PredictProba calls
+// with the same visible set — batching never changes an answer.
+func (m *ModelOf[T]) PredictProbaInto(dst *mat.Dense[T], in InputOf[T], visible map[graph.NodeID]int, queries []graph.NodeID, ws *mat.WorkspaceOf[T]) *mat.Dense[T] {
 	agg, perm := inferOperator(in)
 	logits := m.forwardInfer(in, agg, perm, visible, ws)
-	out := mat.NewOf[T](len(queries), m.classes)
+	rows := make([]int, len(queries))
 	for i, q := range queries {
-		mat.Softmax(out.Row(i), logits.Row(queryRow(perm, q)))
+		rows[i] = queryRow(perm, q)
+	}
+	mat.SelectRowsInto(dst, logits, rows)
+	for i := 0; i < dst.Rows; i++ {
+		mat.Softmax(dst.Row(i), dst.Row(i))
+	}
+	return dst
+}
+
+// CastModel converts a trained model between precisions: weights are
+// rounded element-wise, gradient accumulators come back zeroed, and the
+// config is shared. The serving path uses it to derive a float32
+// inference model from float64-trained weights without retraining.
+func CastModel[T, U mat.Float](m *ModelOf[U]) *ModelOf[T] {
+	castLinear := func(l *linear[U]) *linear[T] {
+		return &linear[T]{
+			w: &ml.ParamOf[T]{W: mat.Cast[T](l.w.W), G: mat.NewOf[T](l.w.G.Rows, l.w.G.Cols)},
+			b: &ml.ParamOf[T]{W: mat.Cast[T](l.b.W), G: mat.NewOf[T](l.b.G.Rows, l.b.G.Cols)},
+		}
+	}
+	out := &ModelOf[T]{Config: m.Config, classes: m.classes, labelEmb: castLinear(m.labelEmb)}
+	for i, l := range m.layers {
+		out.layers = append(out.layers, castLinear(l))
+		out.selfW = append(out.selfW, &ml.ParamOf[T]{
+			W: mat.Cast[T](m.selfW[i].W),
+			G: mat.NewOf[T](m.selfW[i].G.Rows, m.selfW[i].G.Cols),
+		})
 	}
 	return out
 }

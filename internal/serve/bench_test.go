@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"testing"
+
+	"trail/internal/graph"
+)
+
+// The serving-layer headline numbers: one coalesced forward pass over 32
+// queries versus 32 single-query passes. The batched path amortises the
+// full-graph message passing (which dominates and is query-count
+// independent) across the batch, so it should hold a multiple-x
+// throughput advantage — the gate BENCH_7.json records.
+
+func benchQueries(b *testing.B, n int) (*Snapshot, []graph.NodeID) {
+	snap := fixture(b).snapshot64(b)
+	ids := snap.g.NodesOfKind(graph.KindEvent)
+	if len(ids) < n {
+		b.Fatalf("only %d events", len(ids))
+	}
+	return snap, ids[:n]
+}
+
+func BenchmarkServeAttributeBatch32(b *testing.B) {
+	snap, queries := benchQueries(b, 32)
+	out := make([][]float64, len(queries))
+	for i := range out {
+		out[i] = make([]float64, snap.Classes())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.Attribute(queries, out)
+	}
+	b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+func BenchmarkServeAttributeSingle32(b *testing.B) {
+	snap, queries := benchQueries(b, 32)
+	out := [][]float64{make([]float64, snap.Classes())}
+	one := make([]graph.NodeID, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			one[0] = q
+			snap.Attribute(one, out)
+		}
+	}
+	b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "queries/s")
+}
