@@ -4,9 +4,9 @@ GO ?= go
 # gates against. Bump it once per PR that intentionally moves perf;
 # benchjson's compare mode also auto-discovers the highest-numbered
 # BENCH_<n>.json when invoked without -baseline.
-BENCH_BASELINE ?= BENCH_7.json
+BENCH_BASELINE ?= BENCH_8.json
 
-.PHONY: all build test race bench bench-kernels bench-json bench-check vet chaos resume smoke serve-smoke
+.PHONY: all build test race bench bench-kernels bench-json bench-check vet chaos resume smoke serve-smoke ingest-smoke
 
 all: build test
 
@@ -70,6 +70,14 @@ smoke:
 # graceful SIGTERM drain. See DESIGN.md §3g.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# ingest-smoke is the crash-safety gate for the streaming pipeline: the
+# same NDJSON feed is ingested twice — once uninterrupted, once kill -9'd
+# mid-stream and restarted — and the recovered run must converge to a
+# bit-identical state checkpoint and identical attribution answers over
+# the live serving endpoint. See DESIGN.md §3h.
+ingest-smoke:
+	bash scripts/ingest_smoke.sh
 
 vet:
 	$(GO) vet ./...

@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	trail world       [-seed N] [-months N] [-events N] [-out pulses.ndjson]
+//	trail world       [-seed N] [-months N] [-events N] [-from N] [-out pulses.ndjson]
 //	trail build       [-seed N] [-months N] [-events N] [-out tkg.gob]
 //	trail stats       [-seed N] [-months N] [-events N]
 //	trail train       [-seed N] [-layers N] [-epochs N] [-dir ckpt] [-resume] [-every N] [-f32]
 //	trail attribute   [-seed N] [-tkg tkg.gob] [-feed pulses.ndjson]
 //	trail serve       [-seed N] [-dir ckpt] [-addr HOST:PORT] [-max-batch N] [-max-wait D]
+//	trail ingest      [-seed N] [-dir state] [-feed pulses.ndjson] [-addr HOST:PORT] [-model-dir ckpt]
 //	trail loadgen     [-url URL] [-c N] [-duration D] [-out report.json]
 //	trail casestudy   [-seed N] [-fast]
 //	trail experiments [-seed N] [-fast] [-only table2,fig4,...] [-resume DIR] [-md EXPERIMENTS.md]
@@ -55,6 +56,7 @@ var commands = []command{
 	{"train", "train the production GNN with interrupt-safe checkpoints", cmdTrain},
 	{"attribute", "attribute pulses from a feed against a TKG snapshot", cmdAttribute},
 	{"serve", "serve attribution over HTTP from a training checkpoint directory", cmdServe},
+	{"ingest", "stream pulses through the crash-safe WAL pipeline into live snapshots", cmdIngest},
 	{"loadgen", "hammer a running serve daemon and report latency percentiles", cmdLoadgen},
 	{"casestudy", "attribute a never-seen event (paper §VII-C)", cmdCaseStudy},
 	{"experiments", "run every table/figure of the evaluation", cmdExperiments},
@@ -120,6 +122,7 @@ func worldFlags(fs *flag.FlagSet) *osint.WorldConfig {
 func cmdWorld(args []string) error {
 	fs := flag.NewFlagSet("world", flag.ExitOnError)
 	cfg := worldFlags(fs)
+	from := fs.Int("from", 0, "emit only months >= this (late-month feeds for `trail ingest`)")
 	out := fs.String("out", "", "output path (default stdout)")
 	fs.Parse(args)
 
@@ -133,7 +136,7 @@ func cmdWorld(args []string) error {
 		defer f.Close()
 		dst = f
 	}
-	return osint.EncodePulses(dst, w.Pulses())
+	return osint.EncodePulses(dst, w.PulsesInMonths(*from, cfg.Months))
 }
 
 func cmdBuild(args []string) error {

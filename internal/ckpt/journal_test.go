@@ -1,6 +1,8 @@
 package ckpt
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -152,5 +154,125 @@ func TestJournalGobHelpers(t *testing.T) {
 	}
 	if ok, _ := j.DoneGob("missing", &out); ok {
 		t.Fatal("phantom entry")
+	}
+}
+
+// TestJournalSecondWriterLocked: a second live handle on the same
+// journal must fail fast with the typed lock error instead of
+// interleaving torn records. Closing the first handle releases the lock.
+func TestJournalSecondWriterLocked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); !errors.Is(err, ErrJournalLocked) {
+		t.Fatalf("second writer: got %v, want ErrJournalLocked", err)
+	}
+	if err := j.Record("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	defer j2.Close()
+	if _, ok := j2.Done("a"); !ok {
+		t.Fatal("record lost across lock handoff")
+	}
+}
+
+// TestJournalBatchedSync: with SyncEvery=N, records written through the
+// fd are still visible on reopen after a process crash (no user-space
+// buffering), and Sync()/Close() flush the pending batch explicitly.
+func TestJournalBatchedSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.journal")
+	j, err := OpenJournalOpts(path, JournalOpts{SyncEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Record(fmt.Sprintf("u-%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.mu.Lock()
+	pending := j.pending
+	j.mu.Unlock()
+	if pending != 5 {
+		t.Fatalf("pending %d, want 5 (batched fsync fired early)", pending)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	j.mu.Lock()
+	pending = j.pending
+	j.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("pending %d after Sync, want 0", pending)
+	}
+	// Three more: the 8th record triggers the policy fsync.
+	for i := 5; i < 9; i++ {
+		if err := j.Record(fmt.Sprintf("u-%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 9 || j2.DroppedTail {
+		t.Fatalf("reopen: len %d dropped %v", j2.Len(), j2.DroppedTail)
+	}
+}
+
+// TestJournalKeysAndSize: Keys come back sorted; Size tracks the on-disk
+// length exactly.
+func TestJournalKeysAndSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "k.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"e0003", "e0001", "e0002"} {
+		if err := j.Record(k, []byte("p")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := j.Keys()
+	want := []string{"e0001", "e0002", "e0003"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys %v, want %v", keys, want)
+		}
+	}
+	sz := j.Size()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz != st.Size() {
+		t.Fatalf("Size() %d, on disk %d", sz, st.Size())
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Size() != st.Size() {
+		t.Fatalf("reopened Size() %d, on disk %d", j2.Size(), st.Size())
 	}
 }

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package ckpt
+
+import "os"
+
+// lockFileExclusive is a no-op where flock is unavailable; the
+// single-writer contract is then the caller's responsibility.
+func lockFileExclusive(*os.File) error { return nil }

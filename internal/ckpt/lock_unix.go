@@ -1,0 +1,25 @@
+//go:build unix
+
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFileExclusive takes a non-blocking exclusive flock on f. flock is
+// the right primitive for a crash-safe single-writer gate: the kernel
+// releases it when the holding process dies (even kill -9), unlike
+// O_EXCL lock files, which would go stale and block recovery.
+func lockFileExclusive(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return fmt.Errorf("%w: %s", ErrJournalLocked, f.Name())
+	}
+	return fmt.Errorf("ckpt: lock journal: %w", err)
+}

@@ -79,6 +79,14 @@ func (t *TKG) WriteTo(w io.Writer) (int64, error) {
 // ReadTKG loads a TKG written by WriteTo, reattaching the given
 // enrichment services and resolver (which are not serialised).
 func ReadTKG(r io.Reader, svc osint.Services, resolver *apt.Resolver) (*TKG, error) {
+	return ReadTKGFallible(r, osint.Infallible(svc), resolver)
+}
+
+// ReadTKGFallible is ReadTKG reattaching an error-aware services stack,
+// so a recovered TKG keeps the degradation ladder (resilience
+// middleware, Degraded flags, imputation) it was built under —
+// streaming ingest recovers through this path.
+func ReadTKGFallible(r io.Reader, fsvc osint.FallibleServices, resolver *apt.Resolver) (*TKG, error) {
 	br := bufio.NewReader(r)
 	g := graph.New()
 	if _, err := g.ReadFrom(br); err != nil {
@@ -94,7 +102,7 @@ func ReadTKG(r io.Reader, svc osint.Services, resolver *apt.Resolver) (*TKG, err
 	if len(snap.FeatureIDs) != len(snap.FeatureVecs) || len(snap.EventAPTIDs) != len(snap.EventAPTSets) {
 		return nil, fmt.Errorf("core: corrupt TKG snapshot: ragged arrays")
 	}
-	t := NewTKG(svc, resolver, snap.Config)
+	t := NewTKGFallible(fsvc, resolver, snap.Config)
 	t.G = g
 	t.SkippedPulses = snap.SkippedPulses
 	nodes := g.NumNodes()
@@ -135,9 +143,14 @@ func (t *TKG) Save(path string) error {
 // (kind, version, checksum) before decoding. Corruption and version skew
 // surface as the ckpt package's typed errors.
 func LoadTKG(path string, svc osint.Services, resolver *apt.Resolver) (*TKG, error) {
+	return LoadTKGFallible(path, osint.Infallible(svc), resolver)
+}
+
+// LoadTKGFallible is LoadTKG reattaching an error-aware services stack.
+func LoadTKGFallible(path string, fsvc osint.FallibleServices, resolver *apt.Resolver) (*TKG, error) {
 	payload, err := ckpt.Load(path, TKGCheckpointKind, tkgSnapshotVersion)
 	if err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
-	return ReadTKG(bytes.NewReader(payload), svc, resolver)
+	return ReadTKGFallible(bytes.NewReader(payload), fsvc, resolver)
 }

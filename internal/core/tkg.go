@@ -81,6 +81,12 @@ type TKG struct {
 	// eventAPTs tracks, per IOC node, the set of distinct APTs of events
 	// it appears in; used to derive single-label IOC labels (Table III).
 	eventAPTs map[graph.NodeID]map[apt.ID]bool
+	// touched accumulates, while trackTouched is set, the IOC nodes whose
+	// event membership changed during the current ApplyPulse, so the
+	// streaming path can re-finalise exactly those instead of sweeping
+	// every labelled IOC per event.
+	trackTouched bool
+	touched      []graph.NodeID
 }
 
 // NewTKG returns an empty TKG that enriches through svc and resolves tags
@@ -207,6 +213,11 @@ func (t *TKG) Report() *BuildReport {
 // resolution rule; the TKG is unchanged in that case.
 var ErrSkipped = fmt.Errorf("core: pulse skipped (no unique APT tag)")
 
+// ErrDuplicate is returned (wrapped with the pulse ID) when a pulse's ID
+// is already an event in the graph. The TKG is unchanged; streaming
+// replay relies on this to make WAL overlap harmless.
+var ErrDuplicate = fmt.Errorf("core: duplicate pulse ID")
+
 // AddPulse merges one incident report into the TKG and returns the event
 // node ID. Reports whose tags do not resolve to exactly one APT return
 // ErrSkipped.
@@ -220,7 +231,7 @@ func (t *TKG) AddPulse(p osint.Pulse) (graph.NodeID, error) {
 
 	eventID, created := t.G.Upsert(graph.KindEvent, p.ID)
 	if !created {
-		return eventID, fmt.Errorf("core: duplicate pulse ID %q", p.ID)
+		return eventID, fmt.Errorf("%w %q", ErrDuplicate, p.ID)
 	}
 	t.report.Merged++
 	month := p.Month
@@ -375,6 +386,9 @@ func (t *TKG) noteEventAPT(id graph.NodeID, label apt.ID) {
 		t.eventAPTs[id] = set
 	}
 	set[label] = true
+	if t.trackTouched {
+		t.touched = append(t.touched, id)
+	}
 }
 
 // FinalizeLabels derives per-IOC metadata from event membership: the
@@ -382,25 +396,38 @@ func (t *TKG) noteEventAPT(id graph.NodeID, label apt.ID) {
 // share one APT, the IOC label used by the Table III experiments.
 // Safe to call repeatedly (e.g. after merging a new pulse).
 func (t *TKG) FinalizeLabels() {
-	for id, set := range t.eventAPTs {
-		label := -1
-		if len(set) == 1 {
-			for a := range set {
-				label = int(a)
-			}
-		}
-		count := 0
-		t.G.NeighborEdges(id, func(_ graph.NodeID, et graph.EdgeType, _ bool) bool {
-			if et == graph.EdgeInReport {
-				count++
-			}
-			return true
-		})
-		t.G.UpdateNode(id, func(n *graph.Node) {
-			n.Label = label
-			n.EventCount = count
-		})
+	for id := range t.eventAPTs {
+		t.finalizeOne(id)
 	}
+}
+
+// finalizeOne recomputes the derived label and EventCount for one IOC
+// from its current event membership. Idempotent: the result is a pure
+// function of eventAPTs[id] and the node's InReport adjacency, which is
+// what makes per-pulse incremental finalisation converge to the same
+// state as one batch FinalizeLabels sweep.
+func (t *TKG) finalizeOne(id graph.NodeID) {
+	set := t.eventAPTs[id]
+	if set == nil {
+		return
+	}
+	label := -1
+	if len(set) == 1 {
+		for a := range set {
+			label = int(a)
+		}
+	}
+	count := 0
+	t.G.NeighborEdges(id, func(_ graph.NodeID, et graph.EdgeType, _ bool) bool {
+		if et == graph.EdgeInReport {
+			count++
+		}
+		return true
+	})
+	t.G.UpdateNode(id, func(n *graph.Node) {
+		n.Label = label
+		n.EventCount = count
+	})
 }
 
 // EventNodes returns all event node IDs.

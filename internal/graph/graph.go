@@ -159,6 +159,14 @@ type Graph struct {
 	// mutation (Upsert, AddEdge) so repeated analytics runs share one
 	// frozen copy instead of re-copying adjacency lists per call.
 	csr *sparse.Matrix
+	// version counts structural and record mutations (node created, edge
+	// inserted, node record updated). Reads that pair a Version() with a
+	// CSR() can cheaply detect staleness without pointer identity games.
+	version uint64
+	// dirty accumulates structurally-touched node IDs (created nodes and
+	// endpoints of inserted edges) when tracking is enabled; the streaming
+	// ingest path drains it to seed incremental label propagation.
+	dirty map[NodeID]struct{}
 }
 
 type nodeRef struct {
@@ -220,7 +228,53 @@ func (g *Graph) upsertLocked(kind NodeKind, key string) (NodeID, bool) {
 	g.index[ref] = id
 	g.kindCount[kind]++
 	g.csr = nil
+	g.version++
+	if g.dirty != nil {
+		g.dirty[id] = struct{}{}
+	}
 	return id, true
+}
+
+// Version returns a monotonic mutation counter: it increases on every
+// node creation, edge insertion and UpdateNode call. Consumers holding a
+// CSR() snapshot (or any derived artefact, e.g. a published serving
+// snapshot) can compare versions to detect staleness cheaply.
+func (g *Graph) Version() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.version
+}
+
+// TrackDirty enables (or disables) structural dirty tracking. While
+// enabled, every created node and every endpoint of an inserted edge is
+// accumulated into a set drained by TakeDirty. Disabling clears the set.
+func (g *Graph) TrackDirty(on bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if on && g.dirty == nil {
+		g.dirty = make(map[NodeID]struct{})
+	}
+	if !on {
+		g.dirty = nil
+	}
+}
+
+// TakeDirty returns the structurally-touched node IDs accumulated since
+// the last call, sorted ascending, and resets the set. It returns nil
+// when tracking is disabled or nothing was touched.
+func (g *Graph) TakeDirty() []NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.dirty) == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, len(g.dirty))
+	for id := range g.dirty {
+		out = append(out, id)
+	}
+	clear(g.dirty)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Lookup returns the ID of the node with the given kind and key, if
@@ -248,6 +302,7 @@ func (g *Graph) UpdateNode(id NodeID, f func(*Node)) {
 	n := &g.nodes[id]
 	f(n)
 	n.ID = id
+	g.version++
 }
 
 // AddEdge inserts an undirected edge u-(t)->v if it does not already
@@ -277,6 +332,11 @@ func (g *Graph) AddEdge(u, v NodeID, t EdgeType) bool {
 	g.edgeCount++
 	g.typeCount[t]++
 	g.csr = nil
+	g.version++
+	if g.dirty != nil {
+		g.dirty[u] = struct{}{}
+		g.dirty[v] = struct{}{}
+	}
 	return true
 }
 

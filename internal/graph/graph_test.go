@@ -389,3 +389,71 @@ func TestCSRReordered(t *testing.T) {
 		t.Fatal("reordered view not cached on the snapshot")
 	}
 }
+
+// TestVersionMonotonic: the mutation counter moves on every state
+// change (node created, edge inserted, record updated) and stays put on
+// no-op mutations, so snapshot consumers can use it for staleness.
+func TestVersionMonotonic(t *testing.T) {
+	g := New()
+	v0 := g.Version()
+	a, _ := g.Upsert(KindEvent, "e1")
+	if g.Version() <= v0 {
+		t.Fatal("Upsert(create) did not bump version")
+	}
+	v1 := g.Version()
+	if _, created := g.Upsert(KindEvent, "e1"); created || g.Version() != v1 {
+		t.Fatal("no-op Upsert bumped version")
+	}
+	b, _ := g.Upsert(KindIP, "1.2.3.4")
+	v2 := g.Version()
+	if !g.AddEdge(a, b, EdgeInReport) || g.Version() <= v2 {
+		t.Fatal("AddEdge(insert) did not bump version")
+	}
+	v3 := g.Version()
+	if g.AddEdge(a, b, EdgeInReport) || g.Version() != v3 {
+		t.Fatal("duplicate AddEdge bumped version")
+	}
+	g.UpdateNode(b, func(n *Node) { n.Label = 7 })
+	if g.Version() <= v3 {
+		t.Fatal("UpdateNode did not bump version")
+	}
+}
+
+// TestTakeDirty: with tracking on, created nodes and edge endpoints
+// accumulate into a sorted, deduplicated set that drains on Take.
+func TestTakeDirty(t *testing.T) {
+	g := New()
+	if got := g.TakeDirty(); got != nil {
+		t.Fatalf("untracked TakeDirty = %v", got)
+	}
+	g.TrackDirty(true)
+	a, _ := g.Upsert(KindEvent, "e1")
+	b, _ := g.Upsert(KindIP, "1.2.3.4")
+	c, _ := g.Upsert(KindIP, "5.6.7.8")
+	g.AddEdge(a, b, EdgeInReport)
+	g.AddEdge(a, b, EdgeInReport) // duplicate: no new dirt
+	d := g.TakeDirty()
+	want := []NodeID{a, b, c}
+	if len(d) != len(want) {
+		t.Fatalf("dirty %v, want %v", d, want)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dirty %v, want %v", d, want)
+		}
+	}
+	if got := g.TakeDirty(); got != nil {
+		t.Fatalf("second TakeDirty = %v, want nil", got)
+	}
+	// Edge between two existing nodes dirties both endpoints.
+	g.AddEdge(b, c, EdgeARecord)
+	d = g.TakeDirty()
+	if len(d) != 2 || d[0] != b || d[1] != c {
+		t.Fatalf("edge dirt %v, want [%d %d]", d, b, c)
+	}
+	g.TrackDirty(false)
+	g.Upsert(KindDomain, "x.test")
+	if got := g.TakeDirty(); got != nil {
+		t.Fatalf("disabled TakeDirty = %v", got)
+	}
+}

@@ -102,6 +102,8 @@ func (g *Graph) ReadFrom(r io.Reader) (int64, error) {
 	g.edgeCount = fresh.edgeCount
 	g.kindCount = fresh.kindCount
 	g.typeCount = fresh.typeCount
+	g.csr = nil
+	g.version++
 	g.mu.Unlock()
 	return cr.n, nil
 }
@@ -155,4 +157,26 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.n += int64(n)
 	return n, err
+}
+
+// ReadByte makes countingReader an io.ByteReader. Without it,
+// encoding/gob wraps the reader in its own bufio.Reader, which reads
+// ahead past the end of the graph's gob stream and silently consumes the
+// first bytes of whatever the caller concatenated after it (the TKG
+// snapshot stream) — a corruption that only bites when stream sizes
+// line up badly, i.e. on small graphs.
+func (c *countingReader) ReadByte() (byte, error) {
+	if br, ok := c.r.(io.ByteReader); ok {
+		b, err := br.ReadByte()
+		if err == nil {
+			c.n++
+		}
+		return b, err
+	}
+	var buf [1]byte
+	if _, err := io.ReadFull(c.r, buf[:]); err != nil {
+		return 0, err
+	}
+	c.n++
+	return buf[0], nil
 }

@@ -67,7 +67,6 @@ func TestMinimizeResumableCrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer j2.Close()
 	if j2.Len() != 7 {
 		t.Fatalf("journal replayed %d records, want 7", j2.Len())
 	}
@@ -95,6 +94,10 @@ func TestMinimizeResumableCrashRecovery(t *testing.T) {
 	if best.Loss != refBest.Loss {
 		t.Fatalf("best loss %v differs from uninterrupted %v", best.Loss, refBest.Loss)
 	}
+
+	// The journal holds an exclusive writer lock, so it must be released
+	// before the next resume opens the file.
+	j2.Close()
 
 	// Phase 3: a fully-journaled rerun touches the objective zero times.
 	j3, err := OpenFileJournal(path)

@@ -1,0 +1,515 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"trail/internal/ckpt"
+	"trail/internal/core"
+	"trail/internal/graph"
+	"trail/internal/labelprop"
+	"trail/internal/mat/mattest"
+	"trail/internal/osint"
+)
+
+// testWorld returns a small deterministic world and the pipeline config
+// pieces every test shares.
+func testWorld() (*osint.World, []osint.Pulse) {
+	cfg := osint.TestConfig()
+	cfg.Months = 4
+	cfg.EventsPerMonth = 6
+	w := osint.NewWorld(cfg)
+	return w, w.Pulses()
+}
+
+// testConfig is a pipeline config over dir with blocking admission and
+// no background timers, so tests control every cut explicitly.
+func testConfig(t *testing.T, w *osint.World, dir string) Config {
+	t.Helper()
+	return Config{
+		Dir:           dir,
+		Resolver:      w.Resolver(),
+		Services:      osint.Infallible(w),
+		Build:         core.DefaultBuildConfig(),
+		Classes:       len(w.Resolver().Names()),
+		Layers:        2,
+		EnqueueWait:   -1, // block: equivalence tests must not shed
+		PublishEvery:  -1,
+		FlushInterval: -1,
+		Logf:          t.Logf,
+	}
+}
+
+func tkgBytes(t *testing.T, tkg *core.TKG) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := tkg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func feed(t *testing.T, p *Pipeline, pulses []osint.Pulse) {
+	t.Helper()
+	ctx := context.Background()
+	for i := range pulses {
+		if err := p.Submit(ctx, pulses[i]); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+}
+
+// referenceState builds the batch-path reference for a pulse set: a TKG
+// via Build (one finalisation sweep) and a from-scratch label
+// propagation over it.
+func referenceState(t *testing.T, w *osint.World, pulses []osint.Pulse, layers int) ([]byte, *labelprop.State) {
+	t.Helper()
+	tkg := core.NewTKG(w, w.Resolver(), core.DefaultBuildConfig())
+	if _, err := tkg.Build(pulses); err != nil {
+		t.Fatal(err)
+	}
+	classes := len(w.Resolver().Names())
+	lp := labelprop.PropagateFull(tkg.G.CSR(), tkg.EventSeeds(), classes, layers)
+	return tkgBytes(t, tkg), lp
+}
+
+// TestPipelineMatchesBatchBuild: streaming every pulse through the
+// pipeline (WAL, incremental finalisation, dirty-frontier label
+// propagation) reaches state bit-identical to the offline batch path.
+func TestPipelineMatchesBatchBuild(t *testing.T) {
+	w, pulses := testWorld()
+	wantTKG, wantLP := referenceState(t, w, pulses, 2)
+
+	p, err := New(testConfig(t, w, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, p, pulses)
+	if err := p.Barrier(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.DurableSeq(); got != uint64(len(pulses)) {
+		t.Fatalf("durable seq %d, want %d", got, len(pulses))
+	}
+	if !bytes.Equal(tkgBytes(t, p.tkg), wantTKG) {
+		t.Fatal("streamed TKG differs from batch build")
+	}
+	mattest.BitEqual(t, "streamed Z", p.lp.Z, wantLP.Z)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain-on-close contract: the final cut covers everything.
+	if p.Watermark() != uint64(len(pulses)) {
+		t.Fatalf("watermark %d after close, want %d", p.Watermark(), len(pulses))
+	}
+}
+
+// TestKillAtEveryRecord is the crash-recovery harness: the pipeline is
+// killed (Abort: no final checkpoint, queued work dropped) after every
+// single event, restarted, and fed the rest from its durable offset.
+// The state after the last restart must be bit-identical to an
+// uninterrupted run — for every kill point, so the WAL + watermark
+// protocol has no record-granularity hole.
+func TestKillAtEveryRecord(t *testing.T) {
+	w, pulses := testWorld()
+	wantTKG, wantLP := referenceState(t, w, pulses, 2)
+
+	dir := t.TempDir()
+	ctx := context.Background()
+	totalReplayed := 0
+	for len(pulses) > 0 {
+		cfg := testConfig(t, w, dir)
+		// Cut a checkpoint every 3 events so kills land before, on, and
+		// after checkpoint boundaries as the run progresses.
+		cfg.PublishEvery = 3
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalReplayed += p.Replayed
+		done := p.DurableSeq()
+		if done > uint64(len(w.Pulses())) {
+			t.Fatalf("durable seq %d beyond feed length", done)
+		}
+		pulses = w.Pulses()[done:] // resume exactly after the durable prefix
+		if len(pulses) == 0 {
+			// Everything was already WAL'd before the last kill: verify the
+			// recovered state and stop.
+			if !bytes.Equal(tkgBytes(t, p.tkg), wantTKG) {
+				t.Fatal("recovered TKG differs from uninterrupted run")
+			}
+			mattest.BitEqual(t, "recovered Z", p.lp.Z, wantLP.Z)
+			p.Abort()
+			break
+		}
+		if err := p.Submit(ctx, pulses[0]); err != nil {
+			t.Fatalf("submit after %d: %v", done, err)
+		}
+		if err := p.Barrier(ctx); err != nil {
+			t.Fatal(err)
+		}
+		p.Abort() // kill -9 equivalent: WAL has the event, checkpoint may not
+	}
+	if totalReplayed == 0 {
+		t.Fatal("no restart replayed anything; harness is vacuous")
+	}
+
+	// One more recovery over the final directory must also converge.
+	p, err := New(testConfig(t, w, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if !bytes.Equal(tkgBytes(t, p.tkg), wantTKG) {
+		t.Fatal("final recovery differs from uninterrupted run")
+	}
+	mattest.BitEqual(t, "final recovery Z", p.lp.Z, wantLP.Z)
+}
+
+// TestRecoveryTornTail: garbage appended to the WAL (a crash mid-append)
+// is truncated away on reopen, the un-acknowledged suffix is re-fed, and
+// the final state still matches the uninterrupted run.
+func TestRecoveryTornTail(t *testing.T) {
+	w, pulses := testWorld()
+	wantTKG, _ := referenceState(t, w, pulses, 2)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	p, err := New(testConfig(t, w, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, p, pulses[:5])
+	if err := p.Barrier(ctx); err != nil {
+		t.Fatal(err)
+	}
+	p.Abort()
+
+	// Simulate a torn append: half a record of garbage at the tail.
+	wal := filepath.Join(dir, JournalFile)
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("JRN1\xff\xff torn")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	p2, err := New(testConfig(t, w, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.DroppedTail {
+		t.Fatal("torn tail not detected")
+	}
+	if got := p2.DurableSeq(); got != 5 {
+		t.Fatalf("durable seq %d after torn tail, want 5", got)
+	}
+	feed(t, p2, pulses[5:])
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p3, err := New(testConfig(t, w, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p3.Close()
+	if p3.Replayed != 0 {
+		t.Fatalf("clean close still replayed %d events", p3.Replayed)
+	}
+	if !bytes.Equal(tkgBytes(t, p3.tkg), wantTKG) {
+		t.Fatal("state after torn-tail recovery differs from uninterrupted run")
+	}
+}
+
+// TestChaosNeverCorrupts: a flaky enrichment stack (transient + permanent
+// provider failures behind the resilience middleware) must never corrupt
+// the journal or wedge the pipeline: the run completes, every accepted
+// event is accounted for, a kill recovers cleanly, and shed/degraded
+// events show up in the metrics rather than vanishing.
+func TestChaosNeverCorrupts(t *testing.T) {
+	w, pulses := testWorld()
+	dir := t.TempDir()
+
+	clock := osint.NewManualClock(time.Unix(0, 0)).AutoAdvance(time.Millisecond)
+	stack := func() osint.FallibleServices {
+		cc := osint.ChaosConfig{
+			Seed:                    7,
+			PermanentRate:           0.15,
+			TransientRate:           0.25,
+			MaxConsecutiveTransient: 3,
+			Clock:                   clock,
+		}
+		rcfg := osint.DefaultResilienceConfig()
+		rcfg.Clock = clock
+		rcfg.MaxAttempts = 5
+		return osint.NewResilientServices(osint.NewChaosServices(w, cc), rcfg)
+	}
+
+	cfg := testConfig(t, w, dir)
+	cfg.Services = stack()
+	cfg.PublishEvery = 4
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, p, pulses[:len(pulses)/2])
+	if err := p.Barrier(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.Abort() // crash mid-stream under chaos
+
+	cfg2 := testConfig(t, w, dir)
+	cfg2.Services = stack()
+	p2, err := New(cfg2)
+	if err != nil {
+		t.Fatalf("recovery under chaos: %v", err)
+	}
+	feed(t, p2, pulses[len(pulses)/2:])
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Accounting: every WAL'd event landed in exactly one outcome bucket.
+	m := &p2.met
+	outcomes := m.applied.Value() + m.skipped.Value() + m.duplicates.Value() + m.failed.Value()
+	// p2 processed its recovery replays plus the live second half; every
+	// one must land in exactly one outcome bucket.
+	processed := uint64(p2.Replayed + len(pulses) - len(pulses)/2)
+	if outcomes != processed {
+		t.Fatalf("outcome accounting: %d outcomes for %d processed events", outcomes, processed)
+	}
+	if m.failed.Value() != 0 {
+		t.Fatalf("%d applies failed outright; chaos should only skip, degrade or stall", m.failed.Value())
+	}
+	if p2.Watermark() != p2.DurableSeq() {
+		t.Fatalf("close left watermark %d behind durable %d", p2.Watermark(), p2.DurableSeq())
+	}
+
+	// The journal must reopen with zero loss and zero damage.
+	jrn, err := ckpt.OpenJournal(filepath.Join(dir, JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jrn.Close()
+	if jrn.DroppedTail {
+		t.Fatal("chaos run corrupted the journal tail")
+	}
+	events := 0
+	for _, k := range jrn.Keys() {
+		if _, ok := parseEventKey(k); ok {
+			events++
+		}
+	}
+	if events != len(pulses) {
+		t.Fatalf("journal holds %d events, want %d", events, len(pulses))
+	}
+
+	// Degraded nodes (permanent chaos failures) are visible and
+	// repairable once the provider heals.
+	degraded := 0
+	p2.tkg.G.ForEachNode(func(n graph.Node) {
+		if n.Degraded {
+			degraded++
+		}
+	})
+	if degraded == 0 {
+		t.Log("note: chaos run produced no degraded nodes at this seed")
+	}
+}
+
+// TestBackpressureSheds: with the apply stage stalled and a full queue, a
+// deadline-bound Submit sheds with ErrOverloaded and the shed counter
+// moves; nothing deadlocks and the pipeline drains cleanly afterwards.
+func TestBackpressureSheds(t *testing.T) {
+	w, pulses := testWorld()
+	gate := make(chan struct{})
+	cfg := testConfig(t, w, t.TempDir())
+	cfg.QueueDepth = 2
+	cfg.EnqueueWait = 5 * time.Millisecond
+	first := true
+	cfg.applyDelay = func(osint.Pulse) {
+		if first {
+			first = false
+			<-gate // stall the apply stage on the first event
+		}
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	shed := 0
+	for i := 0; i < 6 && i < len(pulses); i++ {
+		switch err := p.Submit(ctx, pulses[i]); {
+		case err == nil:
+		case errors.Is(err, ErrOverloaded):
+			shed++
+		default:
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("stalled pipeline shed nothing")
+	}
+	if got := p.met.shed.Value(); got != uint64(shed) {
+		t.Fatalf("shed counter %d, want %d", got, shed)
+	}
+	close(gate)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if acc := p.met.accepted.Value(); acc != uint64(6-shed) || p.DurableSeq() != acc {
+		t.Fatalf("accepted %d, durable %d, shed %d: accepted events must all drain", acc, p.DurableSeq(), shed)
+	}
+}
+
+// TestSecondPipelineLocked: two live pipelines over one directory would
+// interleave WAL records; the second must fail fast with the journal's
+// typed lock error.
+func TestSecondPipelineLocked(t *testing.T) {
+	w, _ := testWorld()
+	dir := t.TempDir()
+	p, err := New(testConfig(t, w, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := New(testConfig(t, w, dir)); !errors.Is(err, ckpt.ErrJournalLocked) {
+		t.Fatalf("second pipeline: %v, want ErrJournalLocked", err)
+	}
+}
+
+// TestPublishAndState: cuts hand immutable snapshots to the publisher
+// with their watermark; State serves a deep copy on demand; mutating a
+// published copy cannot reach pipeline state.
+func TestPublishAndState(t *testing.T) {
+	w, pulses := testWorld()
+	type pub struct {
+		nodes int
+		wm    uint64
+	}
+	pubs := make(chan pub, 64)
+	cfg := testConfig(t, w, t.TempDir())
+	cfg.PublishEvery = 4
+	cfg.Publish = func(tkg *core.TKG, wm uint64) {
+		// Mutate the copy to prove isolation.
+		tkg.G.Upsert(graph.KindDomain, "publisher-scribble.example")
+		pubs <- pub{nodes: tkg.G.NumNodes(), wm: wm}
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, p, pulses[:8])
+	ctx := context.Background()
+	if err := p.Cut(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap, wm, err := p.State(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != 8 {
+		t.Fatalf("state watermark %d, want 8", wm)
+	}
+	if _, ok := snap.G.Lookup(graph.KindDomain, "publisher-scribble.example"); ok {
+		t.Fatal("publisher mutation leaked into pipeline state")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(pubs)
+	var got []pub
+	for x := range pubs {
+		got = append(got, x)
+	}
+	if len(got) == 0 {
+		t.Fatal("no snapshots published")
+	}
+	last := got[len(got)-1]
+	if last.wm != 8 {
+		t.Fatalf("last published watermark %d, want 8", last.wm)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].wm <= got[i-1].wm {
+			t.Fatalf("published watermarks not increasing: %v", got)
+		}
+	}
+	if p.met.publishes.Value() != uint64(len(got)) {
+		t.Fatalf("publish counter %d, want %d", p.met.publishes.Value(), len(got))
+	}
+}
+
+// TestSubmitAfterClose: lifecycle errors are typed and prompt.
+func TestSubmitAfterClose(t *testing.T) {
+	w, pulses := testWorld()
+	p, err := New(testConfig(t, w, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(context.Background(), pulses[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if err := p.Barrier(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("barrier after close: %v, want ErrClosed", err)
+	}
+	p.Abort() // must be a harmless no-op after Close
+}
+
+// TestRepairLoop: the catch-up ticker restores nodes degraded by a
+// provider outage without disturbing the graph structure.
+func TestRepairLoop(t *testing.T) {
+	w, pulses := testWorld()
+	svc := &switchable{inner: osint.Infallible(w)}
+	svc.broken.Store(true)
+	cfg := testConfig(t, w, t.TempDir())
+	cfg.Services = svc
+	cfg.RepairInterval = 5 * time.Millisecond
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	feed(t, p, pulses[:6])
+	if err := p.Barrier(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	countDegraded := func() int {
+		n := 0
+		snap, _, err := p.State(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap.G.ForEachNode(func(nd graph.Node) {
+			if nd.Degraded {
+				n++
+			}
+		})
+		return n
+	}
+	if countDegraded() == 0 {
+		t.Fatal("outage degraded nothing; test is vacuous")
+	}
+	svc.broken.Store(false) // provider heals
+	deadline := time.Now().Add(5 * time.Second)
+	for countDegraded() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("repair loop left %d degraded nodes after heal", countDegraded())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if p.met.repaired.Value() == 0 {
+		t.Fatal("repair counter did not move")
+	}
+}

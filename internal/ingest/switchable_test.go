@@ -1,0 +1,45 @@
+package ingest
+
+import (
+	"context"
+	"sync/atomic"
+
+	"trail/internal/osint"
+)
+
+// switchable fails every lookup with a permanent error until healed,
+// then delegates to the real services — a provider outage that ends.
+type switchable struct {
+	inner  osint.FallibleServices
+	broken atomic.Bool
+}
+
+var errOutage = context.DeadlineExceeded
+
+func (s *switchable) LookupIP(ctx context.Context, addr string) (osint.IPRecord, bool, error) {
+	if s.broken.Load() {
+		return osint.IPRecord{}, false, errOutage
+	}
+	return s.inner.LookupIP(ctx, addr)
+}
+
+func (s *switchable) PassiveDNSDomain(ctx context.Context, name string) (osint.DomainRecord, bool, error) {
+	if s.broken.Load() {
+		return osint.DomainRecord{}, false, errOutage
+	}
+	return s.inner.PassiveDNSDomain(ctx, name)
+}
+
+func (s *switchable) PassiveDNSIP(ctx context.Context, addr string) ([]string, bool, error) {
+	if s.broken.Load() {
+		return nil, false, errOutage
+	}
+	return s.inner.PassiveDNSIP(ctx, addr)
+}
+
+func (s *switchable) ProbeURL(ctx context.Context, url string) (osint.URLRecord, bool, error) {
+	if s.broken.Load() {
+		return osint.URLRecord{}, false, errOutage
+	}
+	return s.inner.ProbeURL(ctx, url)
+}

@@ -283,6 +283,32 @@ func (g *Gauge) render(w io.Writer) {
 	fmt.Fprintf(w, "%s %s\n", g.nm, formatFloat(g.Value()))
 }
 
+// GaugeFunc is a gauge whose value is computed at scrape time — the
+// right shape for continuously-moving quantities (snapshot age, queue
+// depth) where a stored value would be stale the instant it was set.
+// fn must be safe for concurrent use and must not block.
+type GaugeFunc struct {
+	nm, help string
+	fn       func() float64
+}
+
+// GaugeFunc registers a callback-backed gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	g := &GaugeFunc{nm: name, help: help, fn: fn}
+	r.register(g)
+	return g
+}
+
+// Value invokes the callback.
+func (g *GaugeFunc) Value() float64 { return g.fn() }
+
+func (g *GaugeFunc) name() string { return g.nm }
+
+func (g *GaugeFunc) render(w io.Writer) {
+	header(w, g.nm, g.help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", g.nm, formatFloat(g.fn()))
+}
+
 // --- Histogram ---------------------------------------------------------------
 
 // Histogram counts observations into a fixed ladder of upper-bound

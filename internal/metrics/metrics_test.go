@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"bytes"
 	"math"
 	"net/http/httptest"
 	"strings"
@@ -200,5 +201,31 @@ line help`, "k").With(`va"l\ue`).Inc()
 	}
 	if !strings.Contains(out, `e{k="va\"l\\ue"} 1`) {
 		t.Errorf("label not escaped:\n%s", out)
+	}
+}
+
+// TestGaugeFunc: the value is computed at render time, not registration
+// time.
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	r.GaugeFunc("trail_test_age_seconds", "computed at scrape", func() float64 { return v })
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trail_test_age_seconds 1.5") {
+		t.Fatalf("render missing computed value:\n%s", buf.String())
+	}
+	v = 4
+	buf.Reset()
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trail_test_age_seconds 4") {
+		t.Fatalf("render did not recompute:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "# TYPE trail_test_age_seconds gauge") {
+		t.Fatalf("missing TYPE header:\n%s", buf.String())
 	}
 }

@@ -41,6 +41,12 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Logf, when set, receives operational notices (reloads, lifecycle).
 	Logf func(format string, args ...any)
+	// Registry, when set, is used instead of a private registry so
+	// embedders (the streaming ingest daemon) can expose their own
+	// metrics on the same /metrics endpoint. Metric names must not
+	// collide with the trail_http_*/trail_attribute_*/trail_snapshot_*
+	// families the server registers.
+	Registry *metrics.Registry
 }
 
 func (c *Config) fill() {
@@ -111,7 +117,11 @@ type serveMetrics struct {
 // ctx cancel) or Close directly when driving the Handler themselves.
 func New(cfg Config, load Loader) (*Server, error) {
 	cfg.fill()
-	s := &Server{cfg: cfg, load: load, start: time.Now(), reg: metrics.NewRegistry()}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{cfg: cfg, load: load, start: time.Now(), reg: reg}
 	s.initMetrics()
 	snap, err := load()
 	if err != nil {
@@ -154,6 +164,17 @@ func (s *Server) initMetrics() {
 		"Nodes in the currently installed snapshot graph.")
 	s.met.events = r.Gauge("trail_snapshot_events",
 		"Event nodes in the currently installed snapshot graph.")
+	// Age is computed at scrape time: a stalled ingest→publish loop shows
+	// up as this gauge climbing while trail_snapshot_epoch stands still.
+	r.GaugeFunc("trail_snapshot_age_seconds",
+		"Seconds since the currently installed snapshot was published.",
+		func() float64 {
+			snap := s.snap.Load()
+			if snap == nil {
+				return 0
+			}
+			return time.Since(snap.LoadedAt).Seconds()
+		})
 }
 
 // install publishes a snapshot: stamps its epoch and install time, then
@@ -170,6 +191,19 @@ func (s *Server) install(snap *Snapshot) {
 
 // Snapshot returns the currently installed snapshot.
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Publish installs an externally-built snapshot — the builder-behind-
+// server entry point used by streaming ingest, bypassing the Loader.
+// Epoch assignment and metric stamping match Reload; in-flight batches
+// keep the snapshot they loaded.
+func (s *Server) Publish(snap *Snapshot) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	s.install(snap)
+	s.met.reloads.Inc()
+	s.cfg.Logf("serve: published snapshot epoch %d (%s, %d nodes, %d events)",
+		snap.Epoch, snap.Precision, snap.NumNodes, snap.NumEvents)
+}
 
 // Reload builds a fresh snapshot from the Loader and installs it.
 // Concurrent reloads serialise; queries are never blocked — they read
@@ -425,10 +459,11 @@ func rankPredictions(names []string, probs []float64, k int) []prediction {
 }
 
 type statsResponse struct {
-	Epoch         uint64    `json:"epoch"`
-	Precision     string    `json:"precision"`
-	LoadedAt      time.Time `json:"loaded_at"`
-	UptimeSeconds float64   `json:"uptime_seconds"`
+	Epoch          uint64    `json:"epoch"`
+	Precision      string    `json:"precision"`
+	LoadedAt       time.Time `json:"loaded_at"`
+	SnapshotAgeSec float64   `json:"snapshot_age_seconds"`
+	UptimeSeconds  float64   `json:"uptime_seconds"`
 	Nodes         int       `json:"nodes"`
 	Edges         int       `json:"edges"`
 	Events        int       `json:"events"`
@@ -446,10 +481,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := s.Snapshot()
 	writeJSON(w, http.StatusOK, statsResponse{
-		Epoch:         snap.Epoch,
-		Precision:     snap.Precision,
-		LoadedAt:      snap.LoadedAt,
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		Epoch:          snap.Epoch,
+		Precision:      snap.Precision,
+		LoadedAt:       snap.LoadedAt,
+		SnapshotAgeSec: time.Since(snap.LoadedAt).Seconds(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Nodes:         snap.NumNodes,
 		Edges:         snap.NumEdges,
 		Events:        snap.NumEvents,

@@ -492,3 +492,45 @@ func TestServerReloadEndpointAndFailure(t *testing.T) {
 		t.Fatalf("reload failure counter %d", got)
 	}
 }
+
+// TestServerSnapshotAgeAndPublish: /v1/stats reports snapshot age, the
+// age gauge renders at scrape time, and Publish installs an external
+// snapshot with a fresh epoch — the streaming-ingest publish path.
+func TestServerSnapshotAgeAndPublish(t *testing.T) {
+	f := fixture(t)
+	srv, ts := newTestServer(t, Config{MaxWait: time.Millisecond}, f.loader())
+
+	var stats statsResponse
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.SnapshotAgeSec < 0 || stats.SnapshotAgeSec > 60 {
+		t.Fatalf("snapshot_age_seconds %v out of range", stats.SnapshotAgeSec)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "# TYPE trail_snapshot_age_seconds gauge") ||
+		!strings.Contains(string(raw), "trail_snapshot_age_seconds ") {
+		t.Fatalf("metrics missing snapshot age gauge:\n%s", raw)
+	}
+
+	// External publish: build a second snapshot from the fixture and
+	// install it directly.
+	snap2, err := f.loader()()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Snapshot().Epoch
+	srv.Publish(snap2)
+	got := srv.Snapshot()
+	if got != snap2 || got.Epoch != before+1 {
+		t.Fatalf("publish: epoch %d (before %d), snap identity %v", got.Epoch, before, got == snap2)
+	}
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Epoch != before+1 {
+		t.Fatalf("stats epoch %d after publish, want %d", stats.Epoch, before+1)
+	}
+}
