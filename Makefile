@@ -4,9 +4,9 @@ GO ?= go
 # gates against. Bump it once per PR that intentionally moves perf;
 # benchjson's compare mode also auto-discovers the highest-numbered
 # BENCH_<n>.json when invoked without -baseline.
-BENCH_BASELINE ?= BENCH_8.json
+BENCH_BASELINE ?= BENCH_9.json
 
-.PHONY: all build test race bench bench-kernels bench-json bench-check vet chaos resume smoke serve-smoke ingest-smoke
+.PHONY: all build test race bench bench-kernels bench-json bench-check vet chaos resume smoke serve-smoke ingest-smoke shard-smoke
 
 all: build test
 
@@ -78,6 +78,15 @@ serve-smoke:
 # the live serving endpoint. See DESIGN.md §3h.
 ingest-smoke:
 	bash scripts/ingest_smoke.sh
+
+# shard-smoke is the crash-safety gate for the sharded batch build: the
+# same `trail build -shards N` run twice — once uninterrupted, once
+# kill -9'd mid-build and restarted with -resume-shards — must produce
+# bit-identical merged snapshots, and two seeded -shard-chaos runs must
+# agree byte-for-byte with identical poisoned-shard accounting. See
+# DESIGN.md §3i.
+shard-smoke:
+	bash scripts/shard_smoke.sh
 
 vet:
 	$(GO) vet ./...

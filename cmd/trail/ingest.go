@@ -53,6 +53,7 @@ func cmdIngest(args []string) error {
 	chaos := fs2.Float64("chaos", 0, "permanent enrichment-failure rate injected behind the resilience middleware")
 	transient := fs2.Float64("transient", 0, "transient enrichment-failure rate (absorbed by retries)")
 	repair := fs2.Duration("repair", 5*time.Second, "degraded-node repair interval (<=0 disables the catch-up loop)")
+	staleAfter := fs2.Duration("stale-after", 0, "report /healthz degraded (503) when the served snapshot is older than this (0 disables)")
 	fs2.Parse(args)
 
 	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
@@ -163,7 +164,7 @@ func cmdIngest(args []string) error {
 	if *addr != "" {
 		// The loader snapshots live pipeline state, so the initial install
 		// (and any POST /v1/reload) serves the current graph.
-		srv, err := serve.New(serve.Config{Registry: reg, Logf: logf}, func() (*serve.Snapshot, error) {
+		srv, err := serve.New(serve.Config{Registry: reg, Logf: logf, StaleAfter: *staleAfter}, func() (*serve.Snapshot, error) {
 			clone, _, err := p.State(ctx)
 			if err != nil {
 				return nil, err

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	trail world       [-seed N] [-months N] [-events N] [-from N] [-out pulses.ndjson]
-//	trail build       [-seed N] [-months N] [-events N] [-out tkg.gob]
+//	trail build       [-seed N] [-months N] [-events N] [-out tkg.gob] [-shards N] [-resume-shards]
 //	trail stats       [-seed N] [-months N] [-events N]
 //	trail train       [-seed N] [-layers N] [-epochs N] [-dir ckpt] [-resume] [-every N] [-f32]
 //	trail attribute   [-seed N] [-tkg tkg.gob] [-feed pulses.ndjson]
@@ -38,6 +38,7 @@ import (
 	"trail/internal/labelprop"
 	"trail/internal/osint"
 	"trail/internal/serve"
+	"trail/internal/shard"
 )
 
 // command is one subcommand in the registry that drives dispatch, the
@@ -139,33 +140,88 @@ func cmdWorld(args []string) error {
 	return osint.EncodePulses(dst, w.PulsesInMonths(*from, cfg.Months))
 }
 
+// chaosStack wires the fault-tolerant enrichment demo: world -> chaos
+// injector -> retry/breaker middleware, on a manual clock so backoff
+// costs nothing. The stack's behaviour is a pure function of seed, which
+// is what lets the sharded build hand each shard its own deterministic
+// copy.
+func chaosStack(w *osint.World, seed int64, permanent, transient float64) osint.FallibleServices {
+	clock := osint.NewManualClock(time.Unix(0, 0)).AutoAdvance(time.Millisecond)
+	cc := osint.ChaosConfig{
+		Seed:                    seed,
+		PermanentRate:           permanent,
+		TransientRate:           transient,
+		MaxConsecutiveTransient: 3,
+		Clock:                   clock,
+	}
+	rcfg := osint.DefaultResilienceConfig()
+	rcfg.Clock = clock
+	rcfg.MaxAttempts = 5
+	return osint.NewResilientServices(osint.NewChaosServices(w, cc), rcfg)
+}
+
 func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	cfg := worldFlags(fs)
 	out := fs.String("out", "tkg.gob", "TKG snapshot path (graph + features)")
 	chaos := fs.Float64("chaos", 0, "permanent enrichment-failure rate injected behind the resilience middleware")
 	transient := fs.Float64("transient", 0, "transient enrichment-failure rate (absorbed by retries)")
+	shards := fs.Int("shards", 1, "partition the build into N supervised time-window shards (>1 enables the sharded pipeline)")
+	shardWorkers := fs.Int("shard-workers", 0, "concurrent shard builders (default GOMAXPROCS)")
+	shardDir := fs.String("shard-dir", "trail-shards", "per-shard checkpoint directory (shard-%04d.ck)")
+	resumeShards := fs.Bool("resume-shards", false, "reuse finished shard checkpoints in -shard-dir instead of rebuilding")
+	shardTimeout := fs.Duration("shard-timeout", 0, "per-attempt build budget for one shard (0 = no limit)")
+	shardChaos := fs.Float64("shard-chaos", 0, "shard-level fault rate: injects attempt failures (and panics/poison at half/quarter the rate) from a seeded injector")
+	shardDelay := fs.Duration("shard-delay", 0, "pause after each shard checkpoint (widens the kill window for crash tests)")
 	fs.Parse(args)
 
 	w := osint.NewWorld(*cfg)
+
+	if *shards > 1 {
+		scfg := shard.Config{
+			Shards:    *shards,
+			Workers:   *shardWorkers,
+			Dir:       *shardDir,
+			Resume:    *resumeShards,
+			Build:     core.DefaultBuildConfig(),
+			Timeout:   *shardTimeout,
+			StepDelay: *shardDelay,
+		}
+		if *chaos > 0 || *transient > 0 {
+			// Each shard (and each retry) gets a fresh stack seeded by its
+			// index, so the enrichment faults a shard sees are independent
+			// of which worker ran it or how many attempts came before.
+			scfg.Services = func(i int) osint.FallibleServices {
+				return chaosStack(w, cfg.Seed+int64(i+1), *chaos, *transient)
+			}
+		}
+		if *shardChaos > 0 {
+			scfg.Chaos = &shard.ChaosConfig{
+				Seed:       cfg.Seed,
+				FailRate:   *shardChaos,
+				PanicRate:  *shardChaos / 2,
+				PoisonRate: *shardChaos / 4,
+			}
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		res, err := shard.Build(ctx, w, scfg)
+		if err != nil {
+			return err
+		}
+		if err := res.TKG.Save(*out); err != nil {
+			return err
+		}
+		fmt.Printf("built TKG: %d nodes, %d edges, %d events (%d pulses skipped)\n",
+			res.TKG.G.NumNodes(), res.TKG.G.NumEdges(), len(res.TKG.EventNodes()), res.TKG.SkippedPulses)
+		fmt.Print(res.Report.Render())
+		fmt.Println("snapshot written to", *out)
+		return nil
+	}
+
 	var tkg *core.TKG
 	if *chaos > 0 || *transient > 0 {
-		// Demonstration of the fault-tolerant enrichment stack: world ->
-		// chaos injector -> retry/breaker middleware -> TKG, on a manual
-		// clock so backoff costs nothing.
-		clock := osint.NewManualClock(time.Unix(0, 0)).AutoAdvance(time.Millisecond)
-		cc := osint.ChaosConfig{
-			Seed:                    cfg.Seed,
-			PermanentRate:           *chaos,
-			TransientRate:           *transient,
-			MaxConsecutiveTransient: 3,
-			Clock:                   clock,
-		}
-		rcfg := osint.DefaultResilienceConfig()
-		rcfg.Clock = clock
-		rcfg.MaxAttempts = 5
-		stack := osint.NewResilientServices(osint.NewChaosServices(w, cc), rcfg)
-		tkg = core.NewTKGFallible(stack, w.Resolver(), core.DefaultBuildConfig())
+		tkg = core.NewTKGFallible(chaosStack(w, cfg.Seed, *chaos, *transient), w.Resolver(), core.DefaultBuildConfig())
 	} else {
 		tkg = core.NewTKG(w, w.Resolver(), core.DefaultBuildConfig())
 	}

@@ -31,17 +31,19 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request budget from admission to answer")
 	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes")
 	topk := fs.Int("topk", 5, "default ranked predictions per answer (requests may override with top_k)")
+	staleAfter := fs.Duration("stale-after", 0, "report /healthz degraded (503) when the snapshot is older than this (0 disables)")
 	fs.Parse(args)
 
 	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 	w := osint.NewWorld(*cfg)
 	srv, err := serve.New(serve.Config{
-		MaxBatch: *maxBatch,
-		MaxWait:  *maxWait,
-		Timeout:  *timeout,
-		MaxBody:  *maxBody,
-		TopK:     *topk,
-		Logf:     logf,
+		MaxBatch:   *maxBatch,
+		MaxWait:    *maxWait,
+		Timeout:    *timeout,
+		MaxBody:    *maxBody,
+		TopK:       *topk,
+		StaleAfter: *staleAfter,
+		Logf:       logf,
 	}, serve.DirLoader(*dir, w, w.Resolver(), logf))
 	if err != nil {
 		return err

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"trail/internal/apt"
+	"trail/internal/graph"
+)
+
+// MergeStats reports what one MergeFrom call did.
+type MergeStats struct {
+	// NodesAdded is the number of src nodes that were new to the
+	// destination graph.
+	NodesAdded int
+	// Deduped is the number of src IOC/ASN nodes that already existed in
+	// the destination (shared infrastructure stitching the shards).
+	Deduped int
+	// EdgesAdded is the number of logical edges inserted (duplicates
+	// across shards collapse silently).
+	EdgesAdded int
+	// DegradedHealed counts destination nodes whose Degraded flag was
+	// cleared because src observed the same IOC with clean enrichment.
+	DegradedHealed int
+}
+
+// MergeFrom merges src into t: the shard-stitch primitive of the sharded
+// build. Nodes are matched by (kind, key) through a stable remap table
+// built in src node-ID order, so for a fixed sequence of MergeFrom calls
+// the destination's node IDs and adjacency order — and therefore its
+// serialised bytes — are fully deterministic.
+//
+// Reconciliation rules for an IOC observed by both graphs:
+//
+//   - edges are unioned (graph.AddEdge collapses duplicates);
+//   - FirstOrder is OR-ed;
+//   - Month keeps the earlier first-observation bucket (plain min: every
+//     build path stamps creation month, and ASN nodes are always 0);
+//   - Degraded heals: if the destination copy is degraded and src saw the
+//     IOC with clean enrichment, src's measured features replace the
+//     imputed ones and the flag clears. A clean destination copy is never
+//     re-degraded by a degraded src observation;
+//   - per-IOC event-membership sets are unioned; callers run
+//     FinalizeLabels once after the last merge to recompute derived
+//     labels and EventCounts over the stitched adjacency.
+//
+// Event nodes must be unique across the merged graphs: a pulse ID already
+// present in t is reported as ErrDuplicate (wrapped with the key) and the
+// merge aborts without touching edges. Shard plans over disjoint time
+// windows cannot trip this; overlapping feeds do.
+//
+// Build bookkeeping (pulse/skip/enrichment-error counters) accumulates
+// into t's report. The feature-mean imputer state is not merged: pulses
+// added to t after a merge impute from t's own observations only.
+func (t *TKG) MergeFrom(src *TKG) (MergeStats, error) {
+	var stats MergeStats
+	remap := make([]graph.NodeID, src.G.NumNodes())
+
+	for i := 0; i < src.G.NumNodes(); i++ {
+		n := src.G.Node(graph.NodeID(i))
+		id, created := t.G.Upsert(n.Kind, n.Key)
+		remap[n.ID] = id
+		if created {
+			stats.NodesAdded++
+			t.G.UpdateNode(id, func(m *graph.Node) {
+				m.Label = n.Label
+				m.FirstOrder = n.FirstOrder
+				m.Month = n.Month
+				m.Degraded = n.Degraded
+			})
+			if f, ok := src.Features[n.ID]; ok {
+				t.Features[id] = f
+			}
+			if n.Degraded {
+				t.report.DegradedByKind[n.Kind]++
+			}
+			continue
+		}
+		if n.Kind == graph.KindEvent {
+			return stats, fmt.Errorf("%w %q (present in both merged graphs)", ErrDuplicate, n.Key)
+		}
+		stats.Deduped++
+		cur := t.G.Node(id)
+		month := cur.Month
+		if n.Month < month {
+			month = n.Month
+		}
+		degraded := cur.Degraded
+		if cur.Degraded && !n.Degraded {
+			// src enriched this IOC cleanly where we could not: adopt its
+			// measured features (when it has any) and clear the flag. The
+			// union of edges below completes the relation expansion that
+			// failed on the degraded side.
+			degraded = false
+			stats.DegradedHealed++
+			t.report.DegradedByKind[n.Kind]--
+			if f, ok := src.Features[n.ID]; ok {
+				t.Features[id] = f
+			}
+		} else if _, has := t.Features[id]; !has {
+			if f, ok := src.Features[n.ID]; ok {
+				// The destination never featurized this node (ablation
+				// builds skip secondaries): adopt src's vector and let the
+				// flag record whether it is measured or imputed.
+				t.Features[id] = f
+				if n.Degraded && !degraded {
+					degraded = true
+					t.report.DegradedByKind[n.Kind]++
+				}
+			}
+		}
+		if cur.FirstOrder != (cur.FirstOrder || n.FirstOrder) || month != cur.Month || degraded != cur.Degraded {
+			first := cur.FirstOrder || n.FirstOrder
+			t.G.UpdateNode(id, func(m *graph.Node) {
+				m.FirstOrder = first
+				m.Month = month
+				m.Degraded = degraded
+			})
+		}
+	}
+
+	src.G.ForEachEdge(func(u, v graph.NodeID, et graph.EdgeType) bool {
+		if t.G.AddEdge(remap[u], remap[v], et) {
+			stats.EdgesAdded++
+		}
+		return true
+	})
+
+	for id, set := range src.eventAPTs {
+		dst := t.eventAPTs[remap[id]]
+		if dst == nil {
+			dst = make(map[apt.ID]bool, len(set))
+			t.eventAPTs[remap[id]] = dst
+		}
+		for a := range set {
+			dst[a] = true
+		}
+	}
+
+	t.report.Pulses += src.report.Pulses
+	t.report.Merged += src.report.Merged
+	t.SkippedPulses += src.SkippedPulses
+	t.enrichErrs.Add(src.enrichErrs.Load())
+	return stats, nil
+}

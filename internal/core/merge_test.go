@@ -1,0 +1,372 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"trail/internal/graph"
+	"trail/internal/osint"
+)
+
+// buildWindowTKG builds a sub-TKG over one slice of the world's pulse feed,
+// the way a shard worker does.
+func buildWindowTKG(t testing.TB, w *osint.World, pulses []osint.Pulse) *TKG {
+	t.Helper()
+	tkg := NewTKG(w, w.Resolver(), DefaultBuildConfig())
+	if _, err := tkg.Build(pulses); err != nil {
+		t.Fatalf("Build window: %v", err)
+	}
+	return tkg
+}
+
+// mergeAll stitches the shards, in the order given, into a fresh TKG and
+// finalizes labels — the single-threaded core of the shard merge phase.
+func mergeAll(t testing.TB, w *osint.World, shards []*TKG) *TKG {
+	t.Helper()
+	dst := NewTKG(w, w.Resolver(), DefaultBuildConfig())
+	for i, s := range shards {
+		if _, err := dst.MergeFrom(s); err != nil {
+			t.Fatalf("MergeFrom shard %d: %v", i, err)
+		}
+	}
+	dst.FinalizeLabels()
+	return dst
+}
+
+// nodeKey is the identity of a node independent of its numeric ID.
+func nodeKey(n graph.Node) string { return fmt.Sprintf("%v|%s", n.Kind, n.Key) }
+
+// semanticState flattens a TKG into ID-independent maps for comparison
+// between a monolithic build and a shard-merged one (node IDs differ, the
+// knowledge must not).
+type semanticState struct {
+	nodes map[string]graph.Node // keyed by nodeKey, ID zeroed
+	feats map[string][]float64
+	edges map[string]bool
+}
+
+func flatten(tkg *TKG) semanticState {
+	s := semanticState{
+		nodes: make(map[string]graph.Node),
+		feats: make(map[string][]float64),
+		edges: make(map[string]bool),
+	}
+	tkg.G.ForEachNode(func(n graph.Node) {
+		if f, ok := tkg.Features[n.ID]; ok {
+			s.feats[nodeKey(n)] = f
+		}
+		n.ID = 0
+		s.nodes[nodeKey(n)] = n
+	})
+	tkg.G.ForEachEdge(func(u, v graph.NodeID, et graph.EdgeType) bool {
+		s.edges[fmt.Sprintf("%s>%s|%d", nodeKey(tkg.G.Node(u)), nodeKey(tkg.G.Node(v)), et)] = true
+		return true
+	})
+	return s
+}
+
+// TestMergeShardsMatchesMonolithic is the core stitching contract: the
+// knowledge that comes directly from the pulses — event nodes, first-order
+// IOCs, the InReport structure, derived labels and EventCounts, and the
+// (deterministic) feature vectors of every node both builds share — must
+// be identical between per-window sub-TKGs stitched by MergeFrom and one
+// monolithic build over the full feed.
+//
+// Full node/edge equality is deliberately NOT asserted: relation expansion
+// only follows newly-created IOCs, so which hop-2 secondaries exist is
+// path-dependent in the monolithic build itself (it depends on pulse
+// grouping, not just the pulse set). The sharded build's own determinism —
+// bit-identical bytes regardless of worker count, completion order, or
+// crash/retry cycles — is pinned in internal/shard.
+func TestMergeShardsMatchesMonolithic(t *testing.T) {
+	w := osint.NewWorld(osint.TestConfig())
+	mono := NewTKG(w, w.Resolver(), DefaultBuildConfig())
+	if _, err := mono.Build(w.Pulses()); err != nil {
+		t.Fatalf("monolithic build: %v", err)
+	}
+
+	_, parts := w.PartitionPulses(3)
+	if len(parts) != 3 {
+		t.Fatalf("expected 3 windows, got %d", len(parts))
+	}
+	shards := make([]*TKG, len(parts))
+	for i, pulses := range parts {
+		shards[i] = buildWindowTKG(t, w, pulses)
+	}
+	merged := mergeAll(t, w, shards)
+
+	sm, sn := flatten(merged), flatten(mono)
+
+	// Events: exactly the same set, with identical labels and months.
+	monoEvents, mergedEvents := 0, 0
+	for k, n := range sn.nodes {
+		if n.Kind != graph.KindEvent {
+			continue
+		}
+		monoEvents++
+		m, ok := sm.nodes[k]
+		if !ok {
+			t.Fatalf("merged graph missing event %s", k)
+		}
+		if m != n {
+			t.Errorf("event %s mismatch: merged %+v monolithic %+v", k, m, n)
+		}
+	}
+	for _, n := range sm.nodes {
+		if n.Kind == graph.KindEvent {
+			mergedEvents++
+		}
+	}
+	if monoEvents != mergedEvents {
+		t.Fatalf("event count: merged %d != monolithic %d", mergedEvents, monoEvents)
+	}
+
+	// First-order IOCs: same set, same derived Label/EventCount/FirstOrder.
+	// (Month and Degraded are creation-path bookkeeping; Month can differ
+	// when a node is discovered as a secondary by only one of the builds.)
+	for k, n := range sn.nodes {
+		if n.Kind == graph.KindEvent || !n.FirstOrder {
+			continue
+		}
+		m, ok := sm.nodes[k]
+		if !ok {
+			t.Fatalf("merged graph missing first-order IOC %s", k)
+		}
+		if !m.FirstOrder || m.Label != n.Label || m.EventCount != n.EventCount {
+			t.Errorf("IOC %s: merged label=%d count=%d first=%v, monolithic label=%d count=%d",
+				k, m.Label, m.EventCount, m.FirstOrder, n.Label, n.EventCount)
+		}
+	}
+	for k, m := range sm.nodes {
+		if m.Kind != graph.KindEvent && m.FirstOrder {
+			if n, ok := sn.nodes[k]; !ok || !n.FirstOrder {
+				t.Errorf("merged first-order IOC %s not first-order in monolithic build", k)
+			}
+		}
+	}
+
+	// InReport edges come straight from pulse indicators: identical sets.
+	filterInReport := func(edges map[string]bool) map[string]bool {
+		out := make(map[string]bool)
+		suffix := fmt.Sprintf("|%d", graph.EdgeInReport)
+		for e := range edges {
+			if len(e) > len(suffix) && e[len(e)-len(suffix):] == suffix {
+				out[e] = true
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(filterInReport(sm.edges), filterInReport(sn.edges)) {
+		t.Error("InReport edge sets differ between merged and monolithic builds")
+	}
+
+	// Feature extraction is deterministic per key: any node featurized by
+	// both builds must carry bit-identical vectors.
+	for k, want := range sn.feats {
+		if got, ok := sm.feats[k]; ok && !reflect.DeepEqual(got, want) {
+			t.Errorf("feature vector for %s differs between builds", k)
+		}
+	}
+
+	if got, want := merged.SkippedPulses, mono.SkippedPulses; got != want {
+		t.Errorf("merged SkippedPulses %d != monolithic %d", got, want)
+	}
+}
+
+// TestMergeDeterministic pins the byte-level contract the shard build
+// depends on: the same shard sequence merged twice yields identical bytes.
+func TestMergeDeterministic(t *testing.T) {
+	w := osint.NewWorld(osint.TestConfig())
+	_, parts := w.PartitionPulses(4)
+	shards := make([]*TKG, len(parts))
+	for i, pulses := range parts {
+		shards[i] = buildWindowTKG(t, w, pulses)
+	}
+	var a, b bytes.Buffer
+	if _, err := mergeAll(t, w, shards).WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mergeAll(t, w, shards).WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical merge sequences produced different bytes")
+	}
+}
+
+// TestMergeSharedIOCDedups is the ErrDuplicate boundary contract: the same
+// IOC observed in two shards must dedup (one node, unioned edges) — only a
+// duplicate *event* is an error.
+func TestMergeSharedIOCDedups(t *testing.T) {
+	w := osint.NewWorld(osint.TestConfig())
+	_, parts := w.PartitionPulses(2)
+	if len(parts) != 2 {
+		t.Fatalf("expected 2 windows, got %d", len(parts))
+	}
+	a := buildWindowTKG(t, w, parts[0])
+	b := buildWindowTKG(t, w, parts[1])
+
+	shared := make(map[string]bool)
+	a.G.ForEachNode(func(n graph.Node) {
+		if n.Kind != graph.KindEvent {
+			shared[nodeKey(n)] = false
+		}
+	})
+	overlap := 0
+	b.G.ForEachNode(func(n graph.Node) {
+		if _, ok := shared[nodeKey(n)]; ok {
+			shared[nodeKey(n)] = true
+			overlap++
+		}
+	})
+	if overlap == 0 {
+		t.Skip("no shared infrastructure between windows in this world")
+	}
+
+	dst := NewTKG(w, w.Resolver(), DefaultBuildConfig())
+	if _, err := dst.MergeFrom(a); err != nil {
+		t.Fatalf("merge shard A: %v", err)
+	}
+	stats, err := dst.MergeFrom(b)
+	if err != nil {
+		t.Fatalf("shared IOC across shards must dedup, got error: %v", err)
+	}
+	if stats.Deduped != overlap {
+		t.Fatalf("Deduped = %d, want %d (the cross-window infrastructure)", stats.Deduped, overlap)
+	}
+	if got, want := dst.G.NumNodes(), a.G.NumNodes()+b.G.NumNodes()-overlap; got != want {
+		t.Fatalf("merged nodes %d, want %d (no duplicates)", got, want)
+	}
+}
+
+// TestMergeDuplicateEventErrors: the same pulse fed to two shards is a
+// plan bug, and the merge must surface it as core.ErrDuplicate.
+func TestMergeDuplicateEventErrors(t *testing.T) {
+	w := osint.NewWorld(osint.TestConfig())
+	pulses := w.Pulses()[:4]
+	a := buildWindowTKG(t, w, pulses)
+	b := buildWindowTKG(t, w, pulses)
+
+	dst := NewTKG(w, w.Resolver(), DefaultBuildConfig())
+	if _, err := dst.MergeFrom(a); err != nil {
+		t.Fatalf("first merge: %v", err)
+	}
+	_, err := dst.MergeFrom(b)
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("overlapping events merged without ErrDuplicate: %v", err)
+	}
+}
+
+// degradeNode manually flags one node degraded and drops its features,
+// simulating a shard whose enrichment for that IOC failed.
+func degradeNode(tkg *TKG, id graph.NodeID) {
+	tkg.G.UpdateNode(id, func(n *graph.Node) { n.Degraded = true })
+	tkg.report.DegradedByKind[tkg.G.Node(id).Kind]++
+	delete(tkg.Features, id)
+}
+
+// sharedNodeIDs returns the ID, in each graph, of one non-event node
+// present in both (deterministically: lowest ID in a).
+func sharedNodeIDs(t *testing.T, a, b *TKG) (graph.NodeID, graph.NodeID) {
+	t.Helper()
+	inB := make(map[string]graph.NodeID)
+	b.G.ForEachNode(func(n graph.Node) {
+		if n.Kind != graph.KindEvent {
+			inB[nodeKey(n)] = n.ID
+		}
+	})
+	for i := 0; i < a.G.NumNodes(); i++ {
+		n := a.G.Node(graph.NodeID(i))
+		if n.Kind == graph.KindEvent {
+			continue
+		}
+		if idB, ok := inB[nodeKey(n)]; ok {
+			return n.ID, idB
+		}
+	}
+	t.Skip("no shared infrastructure between windows in this world")
+	return 0, 0
+}
+
+// TestMergeHealsDegraded: a clean observation of an IOC in a later shard
+// must clear the Degraded flag set by a failed enrichment in an earlier
+// one, adopting the measured features.
+func TestMergeHealsDegraded(t *testing.T) {
+	w := osint.NewWorld(osint.TestConfig())
+	_, parts := w.PartitionPulses(2)
+	a := buildWindowTKG(t, w, parts[0])
+	b := buildWindowTKG(t, w, parts[1])
+	idA, idB := sharedNodeIDs(t, a, b)
+	degradeNode(a, idA)
+	kind := a.G.Node(idA).Kind
+
+	dst := NewTKG(w, w.Resolver(), DefaultBuildConfig())
+	if _, err := dst.MergeFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	if dst.report.DegradedByKind[kind] != 1 {
+		t.Fatalf("degraded accounting after first merge = %d, want 1", dst.report.DegradedByKind[kind])
+	}
+	stats, err := dst.MergeFrom(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DegradedHealed != 1 {
+		t.Fatalf("DegradedHealed = %d, want 1", stats.DegradedHealed)
+	}
+	if dst.report.DegradedByKind[kind] != 0 {
+		t.Fatalf("degraded accounting after heal = %d, want 0", dst.report.DegradedByKind[kind])
+	}
+	key := a.G.Node(idA).Key
+	id, ok := dst.G.Lookup(kind, key)
+	if !ok {
+		t.Fatalf("healed node %s lost", key)
+	}
+	if dst.G.Node(id).Degraded {
+		t.Fatal("node still degraded after clean re-observation")
+	}
+	if want, ok := b.Features[idB]; ok {
+		if got := dst.Features[id]; !reflect.DeepEqual(got, want) {
+			t.Fatal("healed node did not adopt the clean shard's features")
+		}
+	}
+}
+
+// TestMergeCleanNotRedegraded: the mirror case — a degraded observation in
+// a later shard must not re-degrade a node the earlier shard enriched
+// cleanly, nor clobber its measured features.
+func TestMergeCleanNotRedegraded(t *testing.T) {
+	w := osint.NewWorld(osint.TestConfig())
+	_, parts := w.PartitionPulses(2)
+	a := buildWindowTKG(t, w, parts[0])
+	b := buildWindowTKG(t, w, parts[1])
+	idA, idB := sharedNodeIDs(t, a, b)
+	degradeNode(b, idB)
+	kind := a.G.Node(idA).Kind
+	key := a.G.Node(idA).Key
+	wantFeat := a.Features[idA]
+
+	dst := NewTKG(w, w.Resolver(), DefaultBuildConfig())
+	if _, err := dst.MergeFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	id, ok := dst.G.Lookup(kind, key)
+	if !ok {
+		t.Fatalf("node %s lost", key)
+	}
+	if dst.G.Node(id).Degraded {
+		t.Fatal("clean node re-degraded by a degraded shard observation")
+	}
+	if dst.report.DegradedByKind[kind] != 0 {
+		t.Fatalf("degraded accounting = %d, want 0", dst.report.DegradedByKind[kind])
+	}
+	if wantFeat != nil && !reflect.DeepEqual(dst.Features[id], wantFeat) {
+		t.Fatal("degraded shard observation clobbered measured features")
+	}
+}

@@ -372,6 +372,25 @@ func (g *Graph) NeighborEdges(id NodeID, f func(to NodeID, t EdgeType, fwd bool)
 	}
 }
 
+// ForEachEdge calls f once per logical edge in its forward (schema)
+// direction, ordered by source node ID and then by insertion order within
+// the node — a deterministic walk, which is what lets the shard merge
+// replay one graph's edges into another and get identical adjacency on
+// every run. Iteration stops early if f returns false.
+func (g *Graph) ForEachEdge(f func(u, v NodeID, t EdgeType) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for u := range g.adj {
+		for i, he := range g.adj[u] {
+			if g.out[u][i] {
+				if !f(NodeID(u), he.To, he.Type) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // NodesOfKind returns the IDs of all nodes of kind k, in ID order.
 func (g *Graph) NodesOfKind(k NodeKind) []NodeID {
 	g.mu.RLock()

@@ -457,3 +457,45 @@ func TestTakeDirty(t *testing.T) {
 		t.Fatalf("disabled TakeDirty = %v", got)
 	}
 }
+
+func TestForEachEdgeForwardWalk(t *testing.T) {
+	g := buildSmall(t)
+	type edge struct {
+		u, v NodeID
+		et   EdgeType
+	}
+	var got []edge
+	g.ForEachEdge(func(u, v NodeID, et EdgeType) bool {
+		got = append(got, edge{u, v, et})
+		return true
+	})
+	if len(got) != g.NumEdges() {
+		t.Fatalf("walked %d edges, graph has %d", len(got), g.NumEdges())
+	}
+	ev, _ := g.Lookup(KindEvent, "ev1")
+	ip, _ := g.Lookup(KindIP, "1.2.3.4")
+	dom, _ := g.Lookup(KindDomain, "evil.com")
+	asn, _ := g.Lookup(KindASN, "AS1")
+	want := []edge{ // source-ID-major, insertion order within source
+		{ev, ip, EdgeInReport},
+		{ip, dom, EdgeARecord},
+		{ip, asn, EdgeInGroup},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: got %v want %v (forward direction, deterministic order)", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	n := 0
+	g.ForEachEdge(func(_, _ NodeID, _ EdgeType) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early stop visited %d edges", n)
+	}
+}

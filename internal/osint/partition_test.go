@@ -1,0 +1,112 @@
+package osint
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPartitionWindowsCoverAndClamp(t *testing.T) {
+	cases := []struct {
+		counts []int
+		n      int
+	}{
+		{[]int{5, 5, 5, 5}, 2},
+		{[]int{10, 0, 0, 1, 9}, 3},
+		{[]int{1, 1, 1}, 7}, // n > months clamps to one month per window
+		{[]int{0, 0, 0, 0}, 2},
+		{[]int{42}, 1},
+		{[]int{3, 9, 1, 1, 1, 1, 1, 1}, 4},
+	}
+	for _, c := range cases {
+		wins := PartitionWindows(c.counts, c.n)
+		want := c.n
+		if want > len(c.counts) {
+			want = len(c.counts)
+		}
+		if len(wins) == 0 || len(wins) > want {
+			t.Fatalf("counts=%v n=%d: got %d windows, want 1..%d", c.counts, c.n, len(wins), want)
+		}
+		// Windows must tile [0, months) contiguously.
+		lo := 0
+		for _, w := range wins {
+			if w.Lo != lo || w.Hi <= w.Lo {
+				t.Fatalf("counts=%v n=%d: windows %v do not tile contiguously", c.counts, c.n, wins)
+			}
+			lo = w.Hi
+		}
+		if lo != len(c.counts) {
+			t.Fatalf("counts=%v n=%d: windows %v end at %d, want %d", c.counts, c.n, wins, lo, len(c.counts))
+		}
+	}
+}
+
+func TestPartitionWindowsDegenerate(t *testing.T) {
+	if got := PartitionWindows(nil, 3); got != nil {
+		t.Fatalf("nil counts: got %v", got)
+	}
+	if got := PartitionWindows([]int{1, 2}, 0); got != nil {
+		t.Fatalf("n=0: got %v", got)
+	}
+}
+
+func TestPartitionWindowsBalance(t *testing.T) {
+	// Uniform months must split into near-equal pulse shares: no window
+	// should carry more than twice the ideal share.
+	counts := make([]int, 24)
+	for i := range counts {
+		counts[i] = 20
+	}
+	total := 24 * 20
+	for _, n := range []int{2, 3, 4, 6, 8} {
+		wins := PartitionWindows(counts, n)
+		if len(wins) != n {
+			t.Fatalf("n=%d: got %d windows", n, len(wins))
+		}
+		for _, w := range wins {
+			sum := 0
+			for m := w.Lo; m < w.Hi; m++ {
+				sum += counts[m]
+			}
+			if sum > 2*total/n {
+				t.Errorf("n=%d window %v carries %d of %d pulses", n, w, sum, total)
+			}
+		}
+	}
+}
+
+func TestPartitionPulsesExactCover(t *testing.T) {
+	w := NewWorld(TestConfig())
+	wins, parts := w.PartitionPulses(3)
+	if len(wins) != len(parts) {
+		t.Fatalf("windows %d != parts %d", len(wins), len(parts))
+	}
+	seen := make(map[string]int)
+	totalParts := 0
+	for i, pulses := range parts {
+		totalParts += len(pulses)
+		for _, p := range pulses {
+			seen[p.ID]++
+			if p.Month < wins[i].Lo || p.Month >= wins[i].Hi {
+				t.Fatalf("pulse %s (month %d) outside window %v", p.ID, p.Month, wins[i])
+			}
+		}
+	}
+	if totalParts != len(w.Pulses()) {
+		t.Fatalf("windows hold %d pulses, world has %d", totalParts, len(w.Pulses()))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("pulse %s appears in %d windows", id, n)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	a := NewWorld(TestConfig())
+	b := NewWorld(TestConfig())
+	winsA, _ := a.PartitionPulses(4)
+	winsB, _ := b.PartitionPulses(4)
+	if !reflect.DeepEqual(winsA, winsB) {
+		t.Fatalf("same world config planned different windows: %v vs %v", winsA, winsB)
+	}
+}

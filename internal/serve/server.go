@@ -47,6 +47,12 @@ type Config struct {
 	// collide with the trail_http_*/trail_attribute_*/trail_snapshot_*
 	// families the server registers.
 	Registry *metrics.Registry
+	// StaleAfter, when positive, makes /healthz report degraded (HTTP 503
+	// with a JSON reason) once the serving snapshot is older than this —
+	// so orchestrators notice a daemon whose reload/ingest pipeline has
+	// silently stalled while request serving still works. 0 disables the
+	// check (always 200 while a snapshot is loaded).
+	StaleAfter time.Duration
 }
 
 func (c *Config) fill() {
@@ -343,11 +349,32 @@ func (s *Server) buildMux() http.Handler {
 	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", s.handleStats))
 	mux.HandleFunc("/v1/reload", s.instrument("/v1/reload", s.handleReload))
 	mux.HandleFunc("/v1/sample", s.instrument("/v1/sample", s.handleSample))
-	mux.HandleFunc("/healthz", s.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	}))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("/metrics", s.reg.Handler())
 	return mux
+}
+
+// handleHealthz reports liveness, degrading to 503 when the serving
+// snapshot has gone stale (Config.StaleAfter): the process is up and
+// answering, but whatever feeds it fresh snapshots has stalled.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded",
+			"reason": "no snapshot loaded",
+		})
+		return
+	}
+	age := time.Since(snap.LoadedAt)
+	if s.cfg.StaleAfter > 0 && age > s.cfg.StaleAfter {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded",
+			"reason": fmt.Sprintf("snapshot is stale: age %s exceeds threshold %s", age.Round(time.Second), s.cfg.StaleAfter),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // statusRecorder captures the response code for the request counter.

@@ -534,3 +534,56 @@ func TestServerSnapshotAgeAndPublish(t *testing.T) {
 		t.Fatalf("stats epoch %d after publish, want %d", stats.Epoch, before+1)
 	}
 }
+
+// TestHealthzStaleness: with StaleAfter set, /healthz must flip to 503
+// with a JSON reason once the snapshot outlives the threshold, and
+// recover to 200 after a reload installs a fresh snapshot.
+func TestHealthzStaleness(t *testing.T) {
+	f := fixture(t)
+	srv, ts := newTestServer(t, Config{StaleAfter: 60 * time.Millisecond, MaxWait: time.Millisecond}, f.loader())
+
+	var health map[string]string
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health["status"] != "ok" {
+		t.Fatalf("fresh snapshot reported %v", health)
+	}
+
+	time.Sleep(90 * time.Millisecond)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stale snapshot: got %d %s, want 503", resp.StatusCode, body)
+	}
+	var degraded map[string]string
+	if err := json.Unmarshal(body, &degraded); err != nil {
+		t.Fatalf("degraded healthz is not JSON: %v in %s", err, body)
+	}
+	if degraded["status"] != "degraded" || !strings.Contains(degraded["reason"], "stale") {
+		t.Fatalf("degraded healthz payload %v", degraded)
+	}
+
+	if _, err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health["status"] != "ok" {
+		t.Fatalf("reloaded snapshot reported %v", health)
+	}
+}
+
+// TestHealthzNoThresholdAlways200: StaleAfter unset keeps the legacy
+// always-ok behaviour no matter the snapshot age.
+func TestHealthzNoThresholdAlways200(t *testing.T) {
+	f := fixture(t)
+	_, ts := newTestServer(t, Config{MaxWait: time.Millisecond}, f.loader())
+	time.Sleep(30 * time.Millisecond)
+	var health map[string]string
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz without threshold reported %v", health)
+	}
+}

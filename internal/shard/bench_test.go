@@ -1,0 +1,73 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"trail/internal/osint"
+)
+
+// benchWorld is larger than the unit-test world so the sharded build's
+// throughput number reflects real partition + merge work rather than
+// supervisor overhead.
+func benchWorld() *osint.World {
+	cfg := osint.DefaultConfig()
+	cfg.Months = 12
+	cfg.EventsPerMonth = 60
+	return osint.NewWorld(cfg)
+}
+
+// BenchmarkShardedBuild measures the full fault-tolerant pipeline —
+// plan, supervised parallel shard builds with checkpointing, and the
+// deterministic merge — reporting pulse throughput alongside ns/op.
+func BenchmarkShardedBuild(b *testing.B) {
+	b.ReportAllocs()
+	w := benchWorld()
+	total := len(w.Pulses())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		res, err := Build(context.Background(), w, Config{
+			Shards:  8,
+			Workers: 4,
+			Dir:     dir,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Merged != total {
+			b.Fatalf("merged %d of %d pulses", res.Report.Merged, total)
+		}
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "pulses/sec")
+}
+
+// BenchmarkShardedResume measures the crash-recovery floor: every shard
+// checkpoint already on disk, so the cost is envelope validation plus
+// the deterministic merge — what a killed run pays on restart no matter
+// where the kill landed.
+func BenchmarkShardedResume(b *testing.B) {
+	b.ReportAllocs()
+	w := benchWorld()
+	dir := b.TempDir()
+	cfg := Config{Shards: 8, Workers: 4, Dir: dir}
+	if _, err := Build(context.Background(), w, cfg); err != nil {
+		b.Fatal(err)
+	}
+	cfg.Resume = true
+	var lastMerge float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Build(context.Background(), w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Resumed != res.Report.Shards {
+			b.Fatalf("resumed %d of %d shards", res.Report.Resumed, res.Report.Shards)
+		}
+		lastMerge = res.Report.MergeTime.Seconds()
+	}
+	b.ReportMetric(lastMerge, "merge-sec")
+}

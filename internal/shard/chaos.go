@@ -1,0 +1,116 @@
+package shard
+
+import "hash/fnv"
+
+// ChaosConfig injects shard-level faults for the supervision tests and
+// the -shard-chaos CLI mode. Every decision is a pure function of
+// (Seed, op, shard, attempt) — no process state — so a resumed run, a
+// different worker count, or a different completion order injects exactly
+// the same faults in exactly the same places. That purity is what lets
+// the chaos tests demand bit-identical output: the fault schedule itself
+// is part of the deterministic input.
+type ChaosConfig struct {
+	Seed int64
+	// FailRate is the probability one build attempt fails before it
+	// starts (a transient infrastructure fault).
+	FailRate float64
+	// PanicRate is the probability one build attempt panics mid-build
+	// (the supervisor must contain it).
+	PanicRate float64
+	// PoisonRate is the probability a shard is permanently failed,
+	// decided once per shard: no attempt can succeed.
+	PoisonRate float64
+	// MaxConsecutive caps how many consecutive attempts of one shard the
+	// injector may fail (by either fault kind), so a finite MaxAttempts
+	// chain always reaches a clean attempt on non-poisoned shards.
+	// Default 2.
+	MaxConsecutive int
+}
+
+// chaosHash derives a stable 63-bit value from the seed and decision
+// coordinates (FNV-1a, mirroring the osint chaos injector's scheme).
+func chaosHash(seed int64, op, what string, shard, attempt int) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v int64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(seed)
+	h.Write([]byte(op))
+	h.Write([]byte(what))
+	put(int64(shard))
+	put(int64(attempt))
+	return int64(h.Sum64() &^ (1 << 63))
+}
+
+// roll returns true with probability rate for the given coordinates.
+func (c *ChaosConfig) roll(op string, shard, attempt int, rate float64) bool {
+	if c == nil || rate <= 0 {
+		return false
+	}
+	const den = 1 << 30
+	return chaosHash(c.Seed, op, "roll", shard, attempt)%den < int64(rate*den)
+}
+
+// maxConsecutive returns the cap on back-to-back injected attempt faults.
+func (c *ChaosConfig) maxConsecutive() int {
+	if c == nil || c.MaxConsecutive <= 0 {
+		return 2
+	}
+	return c.MaxConsecutive
+}
+
+// attemptFaulted reports whether attempt n of the shard draws a transient
+// fault of the given kind, honouring the consecutive-fault cap across
+// both kinds (an attempt only faults if fewer than MaxConsecutive
+// immediately preceding attempts faulted).
+func (c *ChaosConfig) attemptFaulted(op string, shard, n int) bool {
+	if c == nil {
+		return false
+	}
+	streak := 0
+	for a := n - 1; a >= 1; a-- {
+		if !(c.roll("fail", shard, a, c.FailRate) || c.roll("panic", shard, a, c.PanicRate)) {
+			break
+		}
+		streak++
+	}
+	if streak >= c.maxConsecutive() {
+		return false
+	}
+	return c.roll(op, shard, n, rateOf(c, op))
+}
+
+func rateOf(c *ChaosConfig, op string) float64 {
+	switch op {
+	case "fail":
+		return c.FailRate
+	case "panic":
+		return c.PanicRate
+	}
+	return 0
+}
+
+// failsAttempt reports whether attempt n of the shard fails up front.
+func (c *ChaosConfig) failsAttempt(shard, n int) bool {
+	return c.attemptFaulted("fail", shard, n)
+}
+
+// panics reports whether attempt n of the shard panics mid-build. A
+// fail-fault and a panic-fault never fire on the same attempt (fail is
+// checked first by the builder and short-circuits the attempt).
+func (c *ChaosConfig) panics(shard, n int) bool {
+	return c.attemptFaulted("panic", shard, n)
+}
+
+// poisons reports whether the shard is permanently failed. Decided once
+// per shard (attempt-independent), so retries and resumes agree.
+func (c *ChaosConfig) poisons(shard int) bool {
+	if c == nil {
+		return false
+	}
+	return c.roll("poison", shard, 0, c.PoisonRate)
+}

@@ -1,0 +1,453 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trail/internal/core"
+	"trail/internal/graph"
+	"trail/internal/labelprop"
+	"trail/internal/metrics"
+	"trail/internal/osint"
+	"trail/internal/sparse"
+)
+
+func testWorld() *osint.World { return osint.NewWorld(osint.TestConfig()) }
+
+func baseConfig(t *testing.T) Config {
+	return Config{
+		Shards:  4,
+		Workers: 2,
+		Dir:     t.TempDir(),
+		Backoff: time.Millisecond,
+	}
+}
+
+func mustBuild(t *testing.T, w *osint.World, cfg Config) *Result {
+	t.Helper()
+	res, err := Build(context.Background(), w, cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return res
+}
+
+func tkgBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := res.TKG.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestWorkerCountIndependence: the merged bytes — and every persisted
+// shard checkpoint — must not depend on how many workers built them.
+func TestWorkerCountIndependence(t *testing.T) {
+	w := testWorld()
+	cfgA := baseConfig(t)
+	cfgA.Workers = 1
+	cfgB := baseConfig(t)
+	cfgB.Workers = 4
+
+	a := mustBuild(t, w, cfgA)
+	b := mustBuild(t, w, cfgB)
+	if !bytes.Equal(tkgBytes(t, a), tkgBytes(t, b)) {
+		t.Fatal("merged TKG bytes differ between 1-worker and 4-worker builds")
+	}
+	for i := 0; i < cfgA.Shards; i++ {
+		ba, err := os.ReadFile(ckPath(cfgA.Dir, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(ckPath(cfgB.Dir, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba, bb) {
+			t.Fatalf("shard %d checkpoint bytes differ between worker counts", i)
+		}
+	}
+	if a.Report.Built != cfgA.Shards || b.Report.Built != cfgB.Shards {
+		t.Fatalf("Built = %d/%d, want %d", a.Report.Built, b.Report.Built, cfgA.Shards)
+	}
+}
+
+// TestKillAtEveryShard is the resume harness from the issue: interrupt
+// the build after EVERY k-th shard completion, resume it, and demand the
+// final bytes match an uninterrupted run exactly.
+func TestKillAtEveryShard(t *testing.T) {
+	w := testWorld()
+	ref := mustBuild(t, w, baseConfig(t))
+	refBytes := tkgBytes(t, ref)
+	shards := ref.Report.Shards
+
+	for k := 0; k < shards; k++ {
+		dir := t.TempDir()
+
+		cfg := baseConfig(t)
+		cfg.Dir = dir
+		ctx, cancel := context.WithCancel(context.Background())
+		var done atomic.Int64
+		var once sync.Once
+		cfg.OnShardDone = func(int) {
+			if done.Add(1) >= int64(k+1) {
+				once.Do(cancel)
+			}
+		}
+		_, err := Build(ctx, w, cfg)
+		cancel()
+		if k+1 < shards && err == nil {
+			t.Fatalf("kill after shard %d: build unexpectedly completed", k)
+		}
+
+		resume := baseConfig(t)
+		resume.Dir = dir
+		resume.Resume = true
+		res := mustBuild(t, w, resume)
+		if !bytes.Equal(tkgBytes(t, res), refBytes) {
+			t.Fatalf("kill after shard %d: resumed bytes differ from uninterrupted run", k)
+		}
+		if res.Report.Resumed == 0 {
+			t.Fatalf("kill after shard %d: nothing resumed (harness did not checkpoint)", k)
+		}
+		if res.Report.Resumed+res.Report.Built != shards {
+			t.Fatalf("kill after shard %d: resumed %d + built %d != %d",
+				k, res.Report.Resumed, res.Report.Built, shards)
+		}
+	}
+}
+
+// chaosConfig returns an injector that (for this seed) poisons at least
+// one shard and fails/panics several attempts — verified below.
+func chaosConfig() *ChaosConfig {
+	return &ChaosConfig{Seed: 11, FailRate: 0.35, PanicRate: 0.25, PoisonRate: 0.2}
+}
+
+// TestChaosDeterministicAndAccounted: under injected shard failures the
+// build must complete, account every pulse exactly once (merged, skipped,
+// or lost to a poisoned shard), and produce identical bytes on a rerun —
+// the fault schedule is part of the deterministic input.
+func TestChaosDeterministicAndAccounted(t *testing.T) {
+	w := testWorld()
+	mk := func() Config {
+		cfg := baseConfig(t)
+		cfg.Shards = 6
+		cfg.Workers = 3
+		cfg.MaxAttempts = 4
+		cfg.Chaos = chaosConfig()
+		return cfg
+	}
+	cfgA, cfgB := mk(), mk()
+	a := mustBuild(t, w, cfgA)
+	b := mustBuild(t, w, cfgB)
+
+	if !bytes.Equal(tkgBytes(t, a), tkgBytes(t, b)) {
+		t.Fatal("chaos build not deterministic across runs")
+	}
+	rep := a.Report
+	if len(rep.Poisoned) == 0 {
+		t.Fatal("chaos seed poisoned no shard; the test exercises nothing")
+	}
+	if rep.Retried == 0 {
+		t.Fatal("chaos seed caused no retries; the test exercises nothing")
+	}
+	if rep.Built+len(rep.Poisoned) != rep.Shards {
+		t.Fatalf("built %d + poisoned %d != shards %d", rep.Built, len(rep.Poisoned), rep.Shards)
+	}
+	if rep.Pulses != len(w.Pulses()) {
+		t.Fatalf("accounted pulses %d != world pulses %d", rep.Pulses, len(w.Pulses()))
+	}
+	if rep.Merged+rep.Skipped+rep.PoisonedPulses != rep.Pulses {
+		t.Fatalf("merged %d + skipped %d + poisoned %d != pulses %d",
+			rep.Merged, rep.Skipped, rep.PoisonedPulses, rep.Pulses)
+	}
+	if got := len(a.TKG.EventNodes()); got != rep.Merged {
+		t.Fatalf("graph has %d events, report says %d merged", got, rep.Merged)
+	}
+
+	// Poisoned shards left tombstones, not corrupt files: every
+	// checkpoint in the dir must load cleanly.
+	specs, _ := Plan(w, cfgA.Shards)
+	bd := &builder{w: w, cfg: cfgA}
+	for _, s := range specs {
+		env, err := bd.loadEnvelopeRaw(s)
+		if err != nil {
+			t.Fatalf("shard %d checkpoint unreadable after chaos: %v", s.Index, err)
+		}
+		if env.Poisoned != contains(rep.Poisoned, s.Index) {
+			t.Fatalf("shard %d tombstone flag %v disagrees with report %v",
+				s.Index, env.Poisoned, rep.Poisoned)
+		}
+	}
+}
+
+// TestChaosKillResumeBitIdentical: interrupting a chaos build and
+// resuming it (which re-attempts tombstoned shards — they re-poison
+// identically) must still converge to the uninterrupted bytes.
+func TestChaosKillResumeBitIdentical(t *testing.T) {
+	w := testWorld()
+	mk := func(dir string) Config {
+		cfg := baseConfig(t)
+		cfg.Dir = dir
+		cfg.Shards = 6
+		cfg.Workers = 2
+		cfg.MaxAttempts = 4
+		cfg.Chaos = chaosConfig()
+		return cfg
+	}
+	ref := mustBuild(t, w, mk(t.TempDir()))
+
+	dir := t.TempDir()
+	cfg := mk(dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	var done atomic.Int64
+	cfg.OnShardDone = func(int) {
+		if done.Add(1) >= 2 {
+			once.Do(cancel)
+		}
+	}
+	Build(ctx, w, cfg) // interrupted (or complete — either is fine)
+	cancel()
+
+	resume := mk(dir)
+	resume.Resume = true
+	res := mustBuild(t, w, resume)
+	if !bytes.Equal(tkgBytes(t, res), tkgBytes(t, ref)) {
+		t.Fatal("chaos build resumed after kill differs from uninterrupted run")
+	}
+	if len(res.Report.Poisoned) != len(ref.Report.Poisoned) {
+		t.Fatalf("resumed run poisoned %v, uninterrupted %v", res.Report.Poisoned, ref.Report.Poisoned)
+	}
+}
+
+// TestTransientEnrichmentAbsorbed: a per-shard resilient services stack
+// facing transient-only enrichment faults must produce bytes identical to
+// a clean build — the retries hide the faults entirely, shard by shard.
+func TestTransientEnrichmentAbsorbed(t *testing.T) {
+	w := testWorld()
+	clean := mustBuild(t, w, baseConfig(t))
+
+	cfg := baseConfig(t)
+	cfg.Services = func(shard int) osint.FallibleServices {
+		clock := osint.NewManualClock(time.Unix(0, 0)).AutoAdvance(time.Millisecond)
+		cc := osint.ChaosConfig{
+			Seed:                    100 + int64(shard),
+			TransientRate:           0.2,
+			MaxConsecutiveTransient: 3,
+			Clock:                   clock,
+		}
+		rcfg := osint.DefaultResilienceConfig()
+		rcfg.Clock = clock
+		rcfg.MaxAttempts = 5
+		return osint.NewResilientServices(osint.NewChaosServices(w, cc), rcfg)
+	}
+	faulty := mustBuild(t, w, cfg)
+
+	if !bytes.Equal(tkgBytes(t, clean), tkgBytes(t, faulty)) {
+		t.Fatal("transient enrichment faults leaked into the merged bytes")
+	}
+	if faulty.Report.EnrichErrors != 0 {
+		t.Fatalf("transient-only chaos left %d enrichment errors", faulty.Report.EnrichErrors)
+	}
+}
+
+// TestStalePlanRebuilt: checkpoints from a different shard plan must be
+// ignored (rebuilt), not merged or trusted.
+func TestStalePlanRebuilt(t *testing.T) {
+	w := testWorld()
+	dir := t.TempDir()
+
+	cfg := baseConfig(t)
+	cfg.Dir = dir
+	cfg.Shards = 2
+	mustBuild(t, w, cfg)
+
+	// Same dir, different plan: resume must rebuild everything.
+	cfg2 := baseConfig(t)
+	cfg2.Dir = dir
+	cfg2.Shards = 4
+	cfg2.Resume = true
+	res := mustBuild(t, w, cfg2)
+	if res.Report.Resumed != 0 {
+		t.Fatalf("resumed %d shards from a stale plan", res.Report.Resumed)
+	}
+
+	fresh := baseConfig(t)
+	fresh.Shards = 4
+	want := mustBuild(t, w, fresh)
+	if !bytes.Equal(tkgBytes(t, res), tkgBytes(t, want)) {
+		t.Fatal("build over a stale checkpoint dir differs from a fresh build")
+	}
+}
+
+// TestCorruptCheckpointRebuilt: a torn/corrupted shard checkpoint is
+// detected by the envelope CRC and rebuilt on resume, never believed.
+func TestCorruptCheckpointRebuilt(t *testing.T) {
+	w := testWorld()
+	cfg := baseConfig(t)
+	mustBuild(t, w, cfg)
+
+	path := ckPath(cfg.Dir, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resume := cfg
+	resume.Resume = true
+	res := mustBuild(t, w, resume)
+	if res.Report.Built != 1 || res.Report.Resumed != cfg.Shards-1 {
+		t.Fatalf("corrupt checkpoint: built %d resumed %d, want 1/%d",
+			res.Report.Built, res.Report.Resumed, cfg.Shards-1)
+	}
+	clean := mustBuild(t, w, baseConfig(t))
+	if !bytes.Equal(tkgBytes(t, res), tkgBytes(t, clean)) {
+		t.Fatal("rebuild after corruption differs from clean build")
+	}
+}
+
+// TestMetricsFamily: the trail_shard_* counters must reflect the report.
+func TestMetricsFamily(t *testing.T) {
+	w := testWorld()
+	reg := metrics.NewRegistry()
+	cfg := baseConfig(t)
+	cfg.Shards = 6
+	cfg.MaxAttempts = 4
+	cfg.Chaos = chaosConfig()
+	cfg.Metrics = reg
+	res := mustBuild(t, w, cfg)
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"trail_shard_merge_seconds", "trail_shard_peak_heap_bytes",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(name)) {
+			t.Fatalf("registry output missing %s:\n%s", name, out)
+		}
+	}
+	// Counters must render the report's exact values.
+	for _, want := range []string{
+		fmt.Sprintf("trail_shard_built_total %d", res.Report.Built),
+		fmt.Sprintf("trail_shard_retried_total %d", res.Report.Retried),
+		fmt.Sprintf("trail_shard_poisoned_total %d", len(res.Report.Poisoned)),
+		fmt.Sprintf("trail_shard_resumed_total %d", res.Report.Resumed),
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("registry output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReorderedMergedCSR (satellite): running label propagation over the
+// merged graph through the degree-reordered CSR view must be bit-identical
+// to the unreordered path — locality is a layout change, not a numeric one.
+func TestReorderedMergedCSR(t *testing.T) {
+	defer func(old int) { sparse.ReorderMinRows = old }(sparse.ReorderMinRows)
+
+	w := testWorld()
+
+	sparse.ReorderMinRows = 1 << 30 // plain layout
+	plain := mustBuild(t, w, baseConfig(t))
+
+	sparse.ReorderMinRows = 1 // force the permuted view
+	reord := mustBuild(t, w, baseConfig(t))
+
+	if !bytes.Equal(tkgBytes(t, plain), tkgBytes(t, reord)) {
+		t.Fatal("CSR reordering changed the serialised TKG (it must be a view, not a mutation)")
+	}
+
+	seeds := make(map[graph.NodeID]int)
+	for _, ev := range plain.TKG.EventNodes() {
+		seeds[ev] = plain.TKG.G.Node(ev).Label
+	}
+	classes := 22
+	pPlain := labelprop.PropagateCSR(plain.TKG.G.CSR(), seeds, classes, 4)
+
+	seedsR := make(map[graph.NodeID]int)
+	for _, ev := range reord.TKG.EventNodes() {
+		seedsR[ev] = reord.TKG.G.Node(ev).Label
+	}
+	csr, perm := reord.TKG.G.CSRReordered()
+	if perm == nil && csr.Rows >= sparse.ReorderMinRows {
+		t.Log("reordered view is identity for this graph (degree-sorted already)")
+	}
+	pReord := labelprop.PropagateCSR(reord.TKG.G.CSR(), seedsR, classes, 4)
+
+	if pPlain.Rows != pReord.Rows || pPlain.Cols != pReord.Cols {
+		t.Fatalf("shape mismatch %dx%d vs %dx%d", pPlain.Rows, pPlain.Cols, pReord.Rows, pReord.Cols)
+	}
+	for i := range pPlain.Data {
+		if pPlain.Data[i] != pReord.Data[i] {
+			t.Fatalf("label propagation differs at %d: %v vs %v (reordered CSR must be bit-identical)",
+				i, pPlain.Data[i], pReord.Data[i])
+		}
+	}
+}
+
+// TestDuplicatePulsePlanFailsMerge: feeding overlapping pulse sets to two
+// shards must surface core.ErrDuplicate from the merge, not silently
+// double-count events. (Build plans are disjoint by construction; this
+// pins the guard rail itself via a handcrafted overlap.)
+func TestDuplicatePulsePlanFailsMerge(t *testing.T) {
+	w := testWorld()
+	cfg := baseConfig(t)
+	cfg.Shards = 1
+	cfg.fill()
+	b := &builder{w: w, cfg: cfg}
+	specs, parts := Plan(w, 1)
+	env, err := b.attempt(context.Background(), specs[0], parts[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := core.ReadTKGFallible(bytes.NewReader(env.TKG), osint.Infallible(w), w.Resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := core.NewTKG(w, w.Resolver(), cfg.Build)
+	if _, err := dst.MergeFrom(sub); err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := core.ReadTKGFallible(bytes.NewReader(env.TKG), osint.Infallible(w), w.Resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.MergeFrom(sub2); err == nil {
+		t.Fatal("overlapping shard pulses merged without error")
+	}
+}
+
+// TestPlanClamp: more shards than months clamps; specs line up with
+// window pulse counts.
+func TestPlanClamp(t *testing.T) {
+	w := testWorld() // 8 months
+	specs, parts := Plan(w, 100)
+	if len(specs) != 8 {
+		t.Fatalf("plan %d shards for 8 months", len(specs))
+	}
+	total := 0
+	for i, s := range specs {
+		if s.Index != i || s.Pulses != len(parts[i]) {
+			t.Fatalf("spec %d inconsistent: %+v with %d pulses", i, s, len(parts[i]))
+		}
+		total += s.Pulses
+	}
+	if total != len(w.Pulses()) {
+		t.Fatalf("plan covers %d pulses, world has %d", total, len(w.Pulses()))
+	}
+}
