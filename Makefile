@@ -4,7 +4,7 @@ GO ?= go
 # gates against. Bump it once per PR that intentionally moves perf;
 # benchjson's compare mode also auto-discovers the highest-numbered
 # BENCH_<n>.json when invoked without -baseline.
-BENCH_BASELINE ?= BENCH_9.json
+BENCH_BASELINE ?= BENCH_10.json
 
 .PHONY: all build test race bench bench-kernels bench-json bench-check vet chaos resume smoke serve-smoke ingest-smoke shard-smoke
 

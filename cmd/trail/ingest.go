@@ -54,6 +54,7 @@ func cmdIngest(args []string) error {
 	transient := fs2.Float64("transient", 0, "transient enrichment-failure rate (absorbed by retries)")
 	repair := fs2.Duration("repair", 5*time.Second, "degraded-node repair interval (<=0 disables the catch-up loop)")
 	staleAfter := fs2.Duration("stale-after", 0, "report /healthz degraded (503) when the served snapshot is older than this (0 disables)")
+	csrRebuild := fs2.Bool("csr-rebuild", false, "rebuild the CSR adjacency from scratch at every cut instead of patching it incrementally (A/B lever)")
 	fs2.Parse(args)
 
 	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
@@ -127,6 +128,7 @@ func cmdIngest(args []string) error {
 		PublishEvery:   *publishEvery,
 		FlushInterval:  *flush,
 		RepairInterval: *repair,
+		CSRRebuild:     *csrRebuild,
 		Metrics:        reg,
 		Logf:           logf,
 	}
@@ -164,7 +166,18 @@ func cmdIngest(args []string) error {
 	if *addr != "" {
 		// The loader snapshots live pipeline state, so the initial install
 		// (and any POST /v1/reload) serves the current graph.
-		srv, err := serve.New(serve.Config{Registry: reg, Logf: logf, StaleAfter: *staleAfter}, func() (*serve.Snapshot, error) {
+		scfg := serve.Config{Registry: reg, Logf: logf, StaleAfter: *staleAfter}
+		scfg.ExtraStats = func() map[string]any {
+			st := p.Stats()
+			return map[string]any{
+				"csr_patch_applied":  st.CSRPatchApplied,
+				"csr_patch_fallback": st.CSRPatchFallback,
+				"last_cut_seconds":   st.LastCutSeconds,
+				"checkpoints":        st.Checkpoints,
+				"watermark":          st.Watermark,
+			}
+		}
+		srv, err := serve.New(scfg, func() (*serve.Snapshot, error) {
 			clone, _, err := p.State(ctx)
 			if err != nil {
 				return nil, err

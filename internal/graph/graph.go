@@ -167,11 +167,34 @@ type Graph struct {
 	// endpoints of inserted edges) when tracking is enabled; the streaming
 	// ingest path drains it to seed incremental label propagation.
 	dirty map[NodeID]struct{}
+	// dirtyBuf is DrainDirty's recycled output buffer (see inccsr.go).
+	dirtyBuf []NodeID
+	// log records every inserted edge in insertion order. WriteTo
+	// serialises edges in this order and ReadFrom replays it, which makes
+	// the snapshot order-faithful: a deserialised graph reproduces the
+	// writer's adjacency-entry order bit-for-bit, so a CSR emitted by the
+	// writer is directly adoptable by the reader (AdoptCSR). ~12 bytes per
+	// edge; edges are never removed, so the log is append-only.
+	log []logEdge
+	// inc is the incremental CSR builder, non-nil while EnableCSRPatch is
+	// on: mutations mirror into its slack-slotted buffers and CSR() emits
+	// patched snapshots instead of re-packing from the adjacency lists.
+	inc *csrBuilder
+	// patchApplied / patchFallback count CSR snapshot emissions by kind
+	// (see CSRPatchStats).
+	patchApplied  uint64
+	patchFallback uint64
 }
 
 type nodeRef struct {
 	kind NodeKind
 	key  string
+}
+
+// logEdge is one entry of the insertion-order edge log.
+type logEdge struct {
+	u, v NodeID
+	t    EdgeType
 }
 
 // New returns an empty graph.
@@ -232,6 +255,9 @@ func (g *Graph) upsertLocked(kind NodeKind, key string) (NodeID, bool) {
 	if g.dirty != nil {
 		g.dirty[id] = struct{}{}
 	}
+	if g.inc != nil {
+		g.inc.addNode()
+	}
 	return id, true
 }
 
@@ -261,20 +287,17 @@ func (g *Graph) TrackDirty(on bool) {
 
 // TakeDirty returns the structurally-touched node IDs accumulated since
 // the last call, sorted ascending, and resets the set. It returns nil
-// when tracking is disabled or nothing was touched.
+// when tracking is disabled or nothing was touched. The returned slice
+// is freshly allocated and owned by the caller; hot loops that drain per
+// event should use DrainDirty, which recycles one buffer instead.
 func (g *Graph) TakeDirty() []NodeID {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if len(g.dirty) == 0 {
+	d := g.drainDirtyLocked()
+	if d == nil {
 		return nil
 	}
-	out := make([]NodeID, 0, len(g.dirty))
-	for id := range g.dirty {
-		out = append(out, id)
-	}
-	clear(g.dirty)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]NodeID(nil), d...)
 }
 
 // Lookup returns the ID of the node with the given kind and key, if
@@ -329,6 +352,7 @@ func (g *Graph) AddEdge(u, v NodeID, t EdgeType) bool {
 	g.out[u] = append(g.out[u], true)
 	g.adj[v] = append(g.adj[v], HalfEdge{To: u, Type: t})
 	g.out[v] = append(g.out[v], false)
+	g.log = append(g.log, logEdge{u: u, v: v, t: t})
 	g.edgeCount++
 	g.typeCount[t]++
 	g.csr = nil
@@ -336,6 +360,9 @@ func (g *Graph) AddEdge(u, v NodeID, t EdgeType) bool {
 	if g.dirty != nil {
 		g.dirty[u] = struct{}{}
 		g.dirty[v] = struct{}{}
+	}
+	if g.inc != nil {
+		g.inc.addEdge(u, v)
 	}
 	return true
 }
@@ -463,9 +490,28 @@ func (g *Graph) CSR() *sparse.Matrix {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.csrLocked()
+}
+
+// csrLocked builds (or returns) the cached snapshot under g.mu. With the
+// incremental builder enabled the snapshot is emitted as a patch —
+// slack-buffer copy-out with repaired normalisation and permutation
+// caches pre-installed, bit-identical to the from-scratch build below.
+func (g *Graph) csrLocked() *sparse.Matrix {
 	if g.csr != nil {
 		return g.csr
 	}
+	if g.inc != nil {
+		m, fullSort := g.inc.packed()
+		if fullSort {
+			g.patchFallback++
+		} else {
+			g.patchApplied++
+		}
+		g.csr = m
+		return g.csr
+	}
+	g.patchFallback++
 	n := len(g.adj)
 	rowPtr := make([]int, n+1)
 	for i, hes := range g.adj {

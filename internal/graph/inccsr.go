@@ -1,0 +1,638 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"trail/internal/sparse"
+)
+
+// Incremental CSR maintenance (DESIGN.md §3j).
+//
+// The streaming ingest path mutates the graph a handful of edges at a
+// time and then needs a CSR snapshot — historically a full O(V+E)
+// re-pack plus full re-normalisation and a full degree re-sort per cut.
+// csrBuilder keeps a slack-slotted mirror of the adjacency alongside the
+// HalfEdge lists: every row owns a slot with spare capacity, appends go
+// into the slack (amortised O(1), relocating a row to the tail when its
+// slot fills), and the derived artefacts — sym-normalisation values,
+// mean scales, the degree-descending permutation — are repaired only for
+// the rows a delta actually touched.
+//
+// Bit-identity contract: every emitted snapshot is bit-for-bit the
+// matrix the from-scratch path would have built.
+//   - Adjacency values are exact ones, so row sums are exact integers:
+//     invSqrt[i] = 1/Sqrt(float64(deg)) and meanScale[i] = 1/float64(deg)
+//     equal the from-scratch accumulations bitwise.
+//   - A sym entry is 1·(invSqrt[i]·invSqrt[j]); multiplying by 1 is
+//     exact, so the repaired product matches SymNormalized bitwise.
+//   - The adjacency is append-only, so a row whose entry set did not
+//     change since the previous emission is byte-identical in the new
+//     one: emission splices only the delta rows and block-copies
+//     unchanged runs straight out of the previous snapshot.
+//
+// The reorder cache is the one deliberate exception to snapshot-level
+// identity with the from-scratch path: the degree-descending order is a
+// cache-locality heuristic, and every consumer uses the permuted view as
+// a row-local gather/scatter (row r of the view is row Perm[r] of the
+// base, with the within-row entry order preserved), so kernel results
+// are bit-identical for ANY valid permutation. Emission therefore keeps
+// the previous permutation sticky — new nodes append at the tail, and
+// degree drift accumulates — and re-sorts to exact degree order only
+// when the drifted-row count crosses sparse.ReorderMinRows. That is what
+// lets the permuted view be spliced from the previous emission too,
+// instead of re-gathered O(nnz) per cut: under a sticky permutation the
+// relabelling (Inv) of pre-existing IDs never moves.
+//
+// The whole contract is pinned by the mutation-sequence fuzz harness in
+// inccsr_test.go, which checks both matrix-level identity (adjacency,
+// normalisations) and kernel-level identity (permuted SpMM scattered
+// back vs the unpermuted run).
+type csrBuilder struct {
+	// Slot layout: row i's live entries are col[start[i]:end[i]] inside a
+	// slot of rcap[i] entries; sym is the parallel sym-normalised value
+	// buffer and ones a shared all-ones value buffer of the same length.
+	// start has one extra element so the buffer can be wrapped as a CSR
+	// RowPtr directly (the last element is scratch).
+	start []int
+	end   []int
+	rcap  []int
+	col   []int32
+	sym   []float64
+	ones  []float64
+
+	// Per-node normalisation scalars, repaired for degree-changed nodes.
+	invSqrt   []float64
+	meanScale []float64
+
+	used  int // high-water offset in col/sym
+	waste int // slots abandoned by row relocations
+	nnz   int // live entries
+
+	// symStale holds nodes whose degree changed since the last sym
+	// repair; permDirty holds nodes whose degree changed since lastPerm
+	// was last brought to exact degree order (drift accumulates across
+	// sticky emissions); colDirty holds rows whose entry set changed
+	// since the last packed emission (the splice set).
+	symStale  map[NodeID]struct{}
+	permDirty map[NodeID]struct{}
+	colDirty  map[NodeID]struct{}
+	// lastPerm is the sticky permutation (nil before the first emission
+	// above the reorder gate); lastP wraps it with its inverse. Both are
+	// shared read-only with emitted snapshots.
+	lastPerm []int32
+	lastP    *sparse.Permutation
+	// lastM / lastPM are the previous emission's packed base and permuted
+	// view (immutable), the splice sources for the next emission.
+	lastM  *sparse.Matrix
+	lastPM *sparse.Matrix
+	// dirtyMark is a reusable n-sized scratch marking colDirty rows
+	// during a splice.
+	dirtyMark []bool
+}
+
+// csrCompactMinSlots gates slot-buffer compaction: below this many used
+// slots the waste from relocations is too small to matter. Tests lower
+// it to force compaction onto small fixtures.
+var csrCompactMinSlots = 1 << 16
+
+// slackFor is the spare capacity given to a row of degree d at (re)pack
+// time: proportional headroom for hubs, a couple of free slots for
+// everyone else.
+func slackFor(d int) int { return d + d/4 + 2 }
+
+// newCSRBuilderLocked mirrors g's current adjacency into a fresh slotted
+// buffer with all derived artefacts valid. Caller holds g.mu.
+func newCSRBuilderLocked(g *Graph) *csrBuilder {
+	n := len(g.adj)
+	b := &csrBuilder{
+		start:     make([]int, n+1),
+		end:       make([]int, n),
+		rcap:      make([]int, n),
+		invSqrt:   make([]float64, n),
+		meanScale: make([]float64, n),
+		symStale:  make(map[NodeID]struct{}),
+		permDirty: make(map[NodeID]struct{}),
+		colDirty:  make(map[NodeID]struct{}),
+	}
+	total := 0
+	for _, hes := range g.adj {
+		total += slackFor(len(hes))
+	}
+	if total < 64 {
+		total = 64
+	}
+	b.col = make([]int32, total)
+	b.sym = make([]float64, total)
+	b.ones = onesOf(total)
+	off := 0
+	for i, hes := range g.adj {
+		d := len(hes)
+		b.start[i] = off
+		for k, he := range hes {
+			b.col[off+k] = int32(he.To)
+		}
+		b.end[i] = off + d
+		b.rcap[i] = slackFor(d)
+		off += b.rcap[i]
+		if d > 0 {
+			b.invSqrt[i] = 1 / math.Sqrt(float64(d))
+			b.meanScale[i] = 1 / float64(d)
+		}
+		b.nnz += d
+	}
+	b.used = off
+	b.start[n] = off
+	for i := range g.adj {
+		inv := b.invSqrt[i]
+		for k := b.start[i]; k < b.end[i]; k++ {
+			b.sym[k] = inv * b.invSqrt[b.col[k]]
+		}
+	}
+	return b
+}
+
+func onesOf(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// addNode extends the mirror with a fresh degree-0 row (empty slot at
+// the tail; its first append will tail-extend in place).
+func (b *csrBuilder) addNode() {
+	id := NodeID(len(b.end))
+	b.start[len(b.start)-1] = b.used
+	b.start = append(b.start, 0)
+	b.end = append(b.end, b.used)
+	b.rcap = append(b.rcap, 0)
+	b.invSqrt = append(b.invSqrt, 0)
+	b.meanScale = append(b.meanScale, 0)
+	b.permDirty[id] = struct{}{}
+}
+
+// addEdge appends the two half-edges of u-v and marks both endpoints for
+// normalisation and permutation repair.
+func (b *csrBuilder) addEdge(u, v NodeID) {
+	b.appendEntry(u, int32(v))
+	b.appendEntry(v, int32(u))
+	b.symStale[u] = struct{}{}
+	b.symStale[v] = struct{}{}
+	b.permDirty[u] = struct{}{}
+	b.permDirty[v] = struct{}{}
+	b.colDirty[u] = struct{}{}
+	b.colDirty[v] = struct{}{}
+}
+
+func (b *csrBuilder) appendEntry(i NodeID, j int32) {
+	deg := b.end[i] - b.start[i]
+	if deg == b.rcap[i] { // slot full
+		if b.start[i]+b.rcap[i] == b.used { // tail row: extend in place
+			b.ensure(1)
+			b.rcap[i]++
+			b.used++
+		} else { // relocate to a doubled slot at the tail
+			newCap := 2 * deg
+			if newCap < 4 {
+				newCap = 4
+			}
+			b.ensure(newCap)
+			ns := b.used
+			copy(b.col[ns:ns+deg], b.col[b.start[i]:b.end[i]])
+			copy(b.sym[ns:ns+deg], b.sym[b.start[i]:b.end[i]])
+			b.start[i] = ns
+			b.end[i] = ns + deg
+			b.rcap[i] = newCap
+			b.used += newCap
+			b.waste += deg // the abandoned slot's live span; its slack was never counted
+		}
+	}
+	b.col[b.end[i]] = j
+	// The sym slot stays stale; repairSym fills it (i is in symStale).
+	b.end[i]++
+	b.nnz++
+}
+
+// ensure grows the slot buffers so at least k more slots fit past used.
+func (b *csrBuilder) ensure(k int) {
+	need := b.used + k
+	if need <= len(b.col) {
+		return
+	}
+	sz := 2 * len(b.col)
+	if sz < need {
+		sz = need
+	}
+	if sz < 64 {
+		sz = 64
+	}
+	col := make([]int32, sz)
+	copy(col, b.col)
+	b.col = col
+	sym := make([]float64, sz)
+	copy(sym, b.sym)
+	b.sym = sym
+	b.ones = onesOf(sz)
+}
+
+// repairSym re-derives the normalisation scalars for degree-changed
+// nodes and rewrites the sym values of exactly the rows whose entries
+// reference a changed scalar: the stale rows themselves plus their
+// neighbours (an entry (i,j) is invSqrt[i]·invSqrt[j], and j∈stale means
+// i is a neighbour of j). O(one-hop volume of the delta).
+func (b *csrBuilder) repairSym() {
+	if len(b.symStale) == 0 {
+		return
+	}
+	for id := range b.symStale {
+		d := b.end[id] - b.start[id]
+		if d > 0 {
+			b.invSqrt[id] = 1 / math.Sqrt(float64(d))
+			b.meanScale[id] = 1 / float64(d)
+		} else {
+			b.invSqrt[id] = 0
+			b.meanScale[id] = 0
+		}
+	}
+	rows := make(map[NodeID]struct{}, 3*len(b.symStale))
+	for id := range b.symStale {
+		rows[id] = struct{}{}
+		for k := b.start[id]; k < b.end[id]; k++ {
+			rows[NodeID(b.col[k])] = struct{}{}
+		}
+	}
+	for id := range rows {
+		inv := b.invSqrt[id]
+		for k := b.start[id]; k < b.end[id]; k++ {
+			b.sym[k] = inv * b.invSqrt[b.col[k]]
+		}
+	}
+	clear(b.symStale)
+}
+
+// maybeCompact repacks the slot buffer with fresh slack when relocation
+// waste dominates. Called at flush points, after repairSym (so sym
+// values are valid when copied).
+func (b *csrBuilder) maybeCompact() {
+	if b.used <= csrCompactMinSlots || 2*b.waste <= b.used {
+		return
+	}
+	n := len(b.end)
+	total := 0
+	for i := 0; i < n; i++ {
+		total += slackFor(b.end[i] - b.start[i])
+	}
+	if total < 64 {
+		total = 64
+	}
+	col := make([]int32, total)
+	sym := make([]float64, total)
+	off := 0
+	for i := 0; i < n; i++ {
+		d := b.end[i] - b.start[i]
+		copy(col[off:off+d], b.col[b.start[i]:b.end[i]])
+		copy(sym[off:off+d], b.sym[b.start[i]:b.end[i]])
+		b.start[i] = off
+		b.end[i] = off + d
+		b.rcap[i] = slackFor(d)
+		off += b.rcap[i]
+	}
+	b.col, b.sym = col, sym
+	b.ones = onesOf(total)
+	b.used, b.waste = off, 0
+	b.start[n] = off
+}
+
+// emitPerm returns the reorder permutation for the next emission.
+//
+// Steady state is the sticky path: the previous permutation is reused
+// verbatim (new nodes appended at the tail in ID order), which keeps the
+// inverse mapping of pre-existing IDs frozen so the permuted view can be
+// spliced instead of re-gathered. Degree drift accumulates in permDirty;
+// when it crosses sparse.ReorderMinRows the permutation is brought back
+// to exact degree-descending order — by merging the re-sorted drifted
+// IDs into the still-sorted remainder when possible, or by a full
+// re-sort (repaired=false, the patch-fallback case) on the first
+// emission. Either way the result is bit-identical to what
+// sparse.DegreePermutation would build at that instant: the sort is a
+// strict total order (degree descending, ID ascending on ties — what
+// sort.SliceStable over identity produces), so merge and re-sort agree.
+//
+// sticky reports that the returned permutation equals the previous
+// emission's for all pre-existing rows (the permuted-splice
+// precondition).
+func (b *csrBuilder) emitPerm() (p *sparse.Permutation, sticky, repaired bool) {
+	n := len(b.end)
+	if b.lastPerm != nil && len(b.permDirty) < sparse.ReorderMinRows {
+		if len(b.lastPerm) < n {
+			np := make([]int32, n)
+			copy(np, b.lastPerm)
+			for i := len(b.lastPerm); i < n; i++ {
+				np[i] = int32(i)
+			}
+			b.lastPerm = np
+			b.lastP = sparse.NewPermutation(np)
+		}
+		return b.lastP, true, true
+	}
+
+	degOf := func(i int32) int { return b.end[i] - b.start[i] }
+	less := func(a, c int32) bool {
+		da, dc := degOf(a), degOf(c)
+		if da != dc {
+			return da > dc
+		}
+		return a < c
+	}
+	var perm []int32
+	if b.lastPerm != nil && len(b.permDirty) < n {
+		stable := make([]int32, 0, n-len(b.permDirty))
+		for _, id := range b.lastPerm {
+			if _, dirty := b.permDirty[NodeID(id)]; !dirty {
+				stable = append(stable, id)
+			}
+		}
+		changed := make([]int32, 0, len(b.permDirty))
+		for id := range b.permDirty {
+			changed = append(changed, int32(id))
+		}
+		slices.SortFunc(changed, func(a, c int32) int {
+			if less(a, c) {
+				return -1
+			}
+			return 1
+		})
+		perm = make([]int32, 0, n)
+		i, j := 0, 0
+		for i < len(stable) && j < len(changed) {
+			if less(stable[i], changed[j]) {
+				perm = append(perm, stable[i])
+				i++
+			} else {
+				perm = append(perm, changed[j])
+				j++
+			}
+		}
+		perm = append(perm, stable[i:]...)
+		perm = append(perm, changed[j:]...)
+		repaired = true
+	} else {
+		perm = make([]int32, n)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		sort.SliceStable(perm, func(a, c int) bool { return degOf(perm[a]) > degOf(perm[c]) })
+	}
+	b.lastPerm = perm
+	b.lastP = sparse.NewPermutation(perm)
+	clear(b.permDirty)
+	return b.lastP, false, repaired
+}
+
+// markColDirty refreshes the splice scratch: dirtyMark[i] reports that
+// row i's entry set changed since the previous emission.
+func (b *csrBuilder) markColDirty(n int) {
+	if cap(b.dirtyMark) < n {
+		b.dirtyMark = make([]bool, n)
+	} else {
+		b.dirtyMark = b.dirtyMark[:n]
+		clear(b.dirtyMark)
+	}
+	for id := range b.colDirty {
+		if int(id) < n {
+			b.dirtyMark[id] = true
+		}
+	}
+}
+
+// spliceRows fills dst (a fresh packed colIdx) by copying delta rows out
+// of the slot buffer — relabelled through inv when building a permuted
+// view — and block-copying runs of unchanged rows straight from the
+// previous emission old. rowOf maps a destination row to its source node
+// (identity for the base layout, Perm for the permuted one); old may be
+// nil (first emission), which degenerates to an all-rows gather. The
+// append-only adjacency guarantees an unchanged row is byte-identical
+// between consecutive emissions, and a sticky permutation guarantees
+// inv is frozen for every ID an unchanged row can reference, so block
+// copies are exact.
+func (b *csrBuilder) spliceRows(dst []int32, rowPtr []int, old *sparse.Matrix, rowOf func(int) int32, inv []int32) {
+	n := len(rowPtr) - 1
+	oldN := 0
+	if old != nil {
+		oldN = old.Rows
+	}
+	for r := 0; r < n; {
+		u := rowOf(r)
+		if r < oldN && !b.dirtyMark[u] {
+			j := r + 1
+			for j < oldN && !b.dirtyMark[rowOf(j)] {
+				j++
+			}
+			copy(dst[rowPtr[r]:rowPtr[j]], old.ColIdx[old.RowPtr[r]:old.RowPtr[j]])
+			r = j
+			continue
+		}
+		if inv == nil {
+			copy(dst[rowPtr[r]:rowPtr[r+1]], b.col[b.start[u]:b.end[u]])
+		} else {
+			k := rowPtr[r]
+			for q := b.start[u]; q < b.end[u]; q++ {
+				dst[k] = inv[b.col[q]]
+				k++
+			}
+		}
+		r++
+	}
+}
+
+// packed emits an immutable packed snapshot with the hot derived caches
+// pre-installed: the adjacency CSR, its mean normalisation, and (above
+// the reorder gate) the permuted view with its mean scales. The sym
+// normalisation stays lazy — the streaming path reads it through the
+// live slacked view, where it is maintained in place, and a lazy rebuild
+// on the packed snapshot multiplies the same exact invSqrt pairs, so it
+// is bit-identical whenever a consumer does ask. fullSort reports that
+// the permutation had to be re-sorted from scratch (the patch-fallback
+// case, also the first emission above the gate).
+func (b *csrBuilder) packed() (m *sparse.Matrix, fullSort bool) {
+	b.repairSym()
+	b.maybeCompact()
+	n := len(b.end)
+	rowPtr := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = rowPtr[i] + (b.end[i] - b.start[i])
+	}
+	nnz := rowPtr[n]
+	colIdx := make([]int32, nnz)
+	b.markColDirty(n)
+	b.spliceRows(colIdx, rowPtr, b.lastM, func(r int) int32 { return int32(r) }, nil)
+	meanScale := make([]float64, n)
+	copy(meanScale, b.meanScale)
+
+	m = sparse.New(n, n, rowPtr, colIdx, nil)
+	m.InstallMeanNormalized(m.WithValues(nil, meanScale))
+
+	if n >= sparse.ReorderMinRows {
+		p, sticky, repaired := b.emitPerm()
+		fullSort = !repaired
+		identity := true
+		for i, o := range p.Perm {
+			if int(o) != i {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			m.InstallReordered(m, nil)
+			b.lastPM = nil
+		} else {
+			pmRowPtr := make([]int, n+1)
+			for r := 0; r < n; r++ {
+				u := p.Perm[r]
+				pmRowPtr[r+1] = pmRowPtr[r] + (b.end[u] - b.start[u])
+			}
+			pmCol := make([]int32, nnz)
+			var oldPM *sparse.Matrix
+			if sticky {
+				// Splice precondition: row r of the previous permuted view
+				// is the same source node, and Inv of pre-existing IDs is
+				// frozen. Both hold only on the sticky path.
+				oldPM = b.lastPM
+			}
+			b.spliceRows(pmCol, pmRowPtr, oldPM, func(r int) int32 { return p.Perm[r] }, p.Inv)
+			pm := sparse.New(n, n, pmRowPtr, pmCol, nil)
+			// Gather the maintained mean scales through the permutation
+			// instead of recomputing (a degree is a degree in any row
+			// order, so the gathered scales are bit-identical).
+			pmMean := make([]float64, n)
+			for r, src := range p.Perm {
+				pmMean[r] = meanScale[src]
+			}
+			pm.InstallMeanNormalized(pm.WithValues(nil, pmMean))
+			m.InstallReordered(pm, p)
+			b.lastPM = pm
+		}
+	}
+	b.lastM = m
+	clear(b.colDirty)
+	return m, fullSort
+}
+
+// live returns a transient zero-copy slacked view over the builder's own
+// buffers, with the sym normalisation pre-installed (sharing the same
+// structure). Valid only until the next mutation; intended for the
+// single-threaded ingest apply loop between cuts.
+func (b *csrBuilder) live() *sparse.Matrix {
+	b.repairSym()
+	n := len(b.end)
+	b.start[n] = b.used
+	adj := sparse.NewSlackedOf[float64](n, n, b.start[:n+1], b.end, b.col, b.ones, b.nnz)
+	adj.InstallSymNormalized(sparse.NewSlackedOf[float64](n, n, b.start[:n+1], b.end, b.col, b.sym, b.nnz))
+	return adj
+}
+
+// EnableCSRPatch turns incremental CSR maintenance on (or off). While
+// enabled, mutations keep a slack-slotted adjacency mirror up to date
+// and CSR() emits patched snapshots — bit-identical to the from-scratch
+// build — instead of re-packing and re-normalising the whole graph.
+// Enabling on a populated graph mirrors the current adjacency once.
+func (g *Graph) EnableCSRPatch(on bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !on {
+		g.inc = nil
+		return
+	}
+	if g.inc == nil {
+		g.inc = newCSRBuilderLocked(g)
+	}
+}
+
+// CSRPatchEnabled reports whether incremental CSR maintenance is on.
+func (g *Graph) CSRPatchEnabled() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.inc != nil
+}
+
+// LiveCSR returns a transient slack-slotted view of the current
+// adjacency with its sym normalisation pre-installed, sharing the
+// incremental builder's buffers: no packing, no copying, no
+// re-normalisation. The view (and anything derived from it) is only
+// valid until the graph's next mutation, and callers must not retain it
+// across mutations — it is meant for the single-threaded streaming
+// apply loop, which consumes it before applying the next event. When
+// patching is disabled it falls back to the packed CSR() snapshot.
+func (g *Graph) LiveCSR() *sparse.Matrix {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inc == nil {
+		return g.csrLocked()
+	}
+	return g.inc.live()
+}
+
+// AdoptCSR installs a prebuilt packed snapshot (typically the patched
+// CSR of the graph this one was cloned from) as g's cached CSR, so the
+// clone's consumers reuse the snapshot's pre-installed normalisation and
+// reorder caches instead of rebuilding them. The snapshot must match g's
+// current shape.
+func (g *Graph) AdoptCSR(m *sparse.Matrix) error {
+	if m == nil || m.Slacked() {
+		return fmt.Errorf("graph: AdoptCSR: snapshot must be packed")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m.Rows != len(g.nodes) || m.NNZ() != 2*g.edgeCount {
+		return fmt.Errorf("graph: AdoptCSR: snapshot %dx%d/%d entries does not match graph %d nodes/%d edges",
+			m.Rows, m.Cols, m.NNZ(), len(g.nodes), g.edgeCount)
+	}
+	g.csr = m
+	return nil
+}
+
+// CSRPatchStats counts snapshot emissions: Applied are patched emissions
+// (slack-buffer copy-out with repaired normalisation and a reused or
+// merge-repaired permutation), Fallback are from-scratch builds — patch
+// disabled, or the permutation needed a full re-sort (including the
+// first emission above the reorder gate).
+type CSRPatchStats struct {
+	Applied  uint64
+	Fallback uint64
+}
+
+// CSRPatchStats returns the emission counters.
+func (g *Graph) CSRPatchStats() CSRPatchStats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return CSRPatchStats{Applied: g.patchApplied, Fallback: g.patchFallback}
+}
+
+// DrainDirty is TakeDirty without the per-call allocations: the sorted
+// IDs are written into a buffer owned by the graph and returned as a
+// view, valid until the next DrainDirty call. The single-consumer
+// streaming apply loop drains per event, so the buffer is recycled
+// thousands of times per cut.
+func (g *Graph) DrainDirty() []NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.drainDirtyLocked()
+}
+
+func (g *Graph) drainDirtyLocked() []NodeID {
+	if len(g.dirty) == 0 {
+		return nil
+	}
+	buf := g.dirtyBuf[:0]
+	for id := range g.dirty {
+		buf = append(buf, id)
+	}
+	clear(g.dirty)
+	slices.Sort(buf)
+	g.dirtyBuf = buf
+	return buf
+}

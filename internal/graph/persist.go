@@ -10,7 +10,11 @@ import (
 )
 
 // snapshot is the gob-serialisable form of a Graph. Edges are stored once
-// in their forward (schema) direction.
+// in their forward (schema) direction, in insertion order: ReadFrom
+// replays them in sequence, so the deserialised adjacency lists match the
+// writer's entry order bit-for-bit. That order-faithfulness is what lets
+// the streaming ingest publish path hand a patched CSR snapshot straight
+// to a deserialised clone (graph.AdoptCSR) instead of re-packing it.
 type snapshot struct {
 	Version int
 	Nodes   []Node
@@ -33,14 +37,10 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 		EdgeV:   make([]NodeID, 0, g.edgeCount),
 		EdgeT:   make([]EdgeType, 0, g.edgeCount),
 	}
-	for u := range g.adj {
-		for i, he := range g.adj[u] {
-			if g.out[u][i] { // forward direction only, so each edge once
-				snap.EdgeU = append(snap.EdgeU, NodeID(u))
-				snap.EdgeV = append(snap.EdgeV, he.To)
-				snap.EdgeT = append(snap.EdgeT, he.Type)
-			}
-		}
+	for _, e := range g.log {
+		snap.EdgeU = append(snap.EdgeU, e.u)
+		snap.EdgeV = append(snap.EdgeV, e.v)
+		snap.EdgeT = append(snap.EdgeT, e.t)
 	}
 	g.mu.RUnlock()
 
@@ -90,6 +90,7 @@ func (g *Graph) ReadFrom(r io.Reader) (int64, error) {
 		fresh.out[u] = append(fresh.out[u], true)
 		fresh.adj[v] = append(fresh.adj[v], HalfEdge{To: u, Type: t})
 		fresh.out[v] = append(fresh.out[v], false)
+		fresh.log = append(fresh.log, logEdge{u: u, v: v, t: t})
 		fresh.edgeCount++
 		fresh.typeCount[t]++
 	}
@@ -98,12 +99,18 @@ func (g *Graph) ReadFrom(r io.Reader) (int64, error) {
 	g.nodes = fresh.nodes
 	g.adj = fresh.adj
 	g.out = fresh.out
+	g.log = fresh.log
 	g.index = fresh.index
 	g.edgeCount = fresh.edgeCount
 	g.kindCount = fresh.kindCount
 	g.typeCount = fresh.typeCount
 	g.csr = nil
 	g.version++
+	if g.inc != nil {
+		// The incremental mirror describes the replaced adjacency;
+		// re-mirror the loaded one so patched snapshots stay exact.
+		g.inc = newCSRBuilderLocked(g)
+	}
 	g.mu.Unlock()
 	return cr.n, nil
 }

@@ -1,12 +1,17 @@
 package ingest
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"trail/internal/core"
+	"trail/internal/graph"
 	"trail/internal/osint"
+	"trail/internal/sparse"
 )
 
 // BenchmarkPipelineIngest measures streamed events/sec through the full
@@ -54,5 +59,81 @@ func BenchmarkPipelineIngest(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
 		})
+	}
+}
+
+// cutWorldBytes lazily builds the 24-month × 180-events/month world
+// graph once (full TKG construction over every pulse) and returns its
+// serialised form, so each sub-benchmark can restore a pristine copy.
+var cutWorldBytes = sync.OnceValue(func() []byte {
+	cfg := osint.DefaultConfig()
+	cfg.EventsPerMonth = 180
+	w := osint.NewWorld(cfg)
+	t := core.NewTKG(w, w.Resolver(), core.DefaultBuildConfig())
+	ctx := context.Background()
+	for _, p := range w.Pulses() {
+		if _, err := t.ApplyPulse(ctx, p); err != nil {
+			panic(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := t.G.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+})
+
+// BenchmarkIngestCut measures cut publication on the 24×180 world: the
+// graph-engine work between "delta events arrive" and "a serving
+// snapshot chain is ready" — per event, the streaming label-propagation
+// operator refresh (LiveCSR + sym normalisation, exactly what the
+// pipeline's apply loop runs), then the packed snapshot emission and its
+// serving-side consumers (float32 cast, degree reorder, mean
+// normalisation). patch maintains the slack-slotted mirror and splices
+// snapshots from the previous emission; rebuild is the pre-incremental
+// behaviour — every event re-packs and re-normalises the whole graph
+// from scratch.
+func BenchmarkIngestCut(b *testing.B) {
+	base := cutWorldBytes()
+	for _, delta := range []int{1, 10, 100, 1000} {
+		for _, patch := range []bool{true, false} {
+			name := "rebuild"
+			if patch {
+				name = "patch"
+			}
+			b.Run(fmt.Sprintf("delta=%d/%s", delta, name), func(b *testing.B) {
+				g := graph.New()
+				if _, err := g.ReadFrom(bytes.NewReader(base)); err != nil {
+					b.Fatal(err)
+				}
+				g.EnableCSRPatch(patch)
+				rng := rand.New(rand.NewSource(11))
+				g.CSR() // warm: the first emission always full-sorts
+				seq := 0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for e := 0; e < delta; e++ {
+						// One synthetic event-shaped delta: a fresh event node
+						// plus report edges to existing IOCs, interleaved with
+						// the operator refresh the apply loop runs per event.
+						id, _ := g.Upsert(graph.KindEvent, fmt.Sprintf("cutbench-%d", seq))
+						seq++
+						n := g.NumNodes()
+						for j := 0; j < 8; j++ {
+							g.AddEdge(id, graph.NodeID(rng.Intn(n-1)), graph.EdgeInReport)
+						}
+						if g.LiveCSR().SymNormalized() == nil {
+							b.Fatal("nil sym")
+						}
+					}
+					c := sparse.Cast[float32](g.CSR())
+					rm, _ := c.Reordered()
+					if rm.MeanNormalized() == nil {
+						b.Fatal("nil mean")
+					}
+				}
+			})
+		}
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -109,6 +110,12 @@ type Config struct {
 	// Classes and Layers configure incremental label propagation over
 	// the evolving graph. Either <= 0 disables it.
 	Classes, Layers int
+
+	// CSRRebuild disables incremental CSR maintenance (graph.EnableCSRPatch):
+	// every propagation pass re-packs and re-normalises the whole graph
+	// from scratch, the pre-patch behaviour. The A/B lever for the
+	// cut-latency experiments; leave false in production.
+	CSRRebuild bool
 
 	// QueueDepth bounds the admission queue (default 256).
 	QueueDepth int
@@ -195,8 +202,10 @@ type pipelineMetrics struct {
 	accepted, shed, applied, skipped, duplicates, failed *metrics.Counter
 	replayed, repaired, repairAttempts                   *metrics.Counter
 	checkpoints, publishes, publishSkipped, walErrors    *metrics.Counter
+	patchApplied, patchFallback                          *metrics.Counter
 	dirtyFrontier                                        *metrics.Gauge
 	durableSeq, watermarkSeq                             *metrics.Gauge
+	cutSeconds                                           *metrics.Histogram
 }
 
 // Pipeline is one live ingest instance over a state directory.
@@ -215,6 +224,11 @@ type Pipeline struct {
 	watermark   atomic.Uint64
 	durable     atomic.Uint64 // highest WAL-appended event sequence
 	lastPublish atomic.Int64  // unix nanos of the last completed publish
+	lastCut     atomic.Uint64 // float64 bits of the last cut's duration (s)
+
+	// lastPatch is the previous CSRPatchStats sample, for counter deltas
+	// (owned by the apply goroutine).
+	lastPatch graph.CSRPatchStats
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -306,6 +320,9 @@ func (p *Pipeline) initMetrics() {
 	m.publishes = r.Counter("trail_ingest_publishes_total", "Snapshots handed to the publish callback.")
 	m.publishSkipped = r.Counter("trail_ingest_publish_skipped_total", "Snapshots superseded before the publish callback consumed them.")
 	m.walErrors = r.Counter("trail_ingest_wal_errors_total", "WAL append/sync failures (the affected event is dropped).")
+	m.patchApplied = r.Counter("trail_csr_patch_applied_total", "CSR snapshots emitted as incremental patches (delta repair, no full rebuild).")
+	m.patchFallback = r.Counter("trail_csr_patch_fallback_total", "CSR snapshots built from scratch (patching disabled, or the delta forced a full permutation re-sort).")
+	m.cutSeconds = r.Histogram("trail_ingest_cut_seconds", "Wall time of a cut: WAL sync, state checkpoint, snapshot hand-off.", metrics.DefBuckets())
 	m.dirtyFrontier = r.Gauge("trail_ingest_dirty_frontier", "Rows recomputed by the last incremental label-propagation pass.")
 	m.durableSeq = r.Gauge("trail_ingest_durable_seq", "Highest event sequence number appended to the WAL.")
 	m.watermarkSeq = r.Gauge("trail_ingest_watermark_seq", "Sequence number of the last event covered by the state checkpoint.")
@@ -401,18 +418,40 @@ func (p *Pipeline) recover() error {
 		cfg.Logf("ingest: replayed %d WAL events (watermark %d -> %d)", p.Replayed, wm, maxSeq)
 	}
 
+	// Incremental CSR maintenance: mirror the recovered adjacency once,
+	// then every mutation keeps the mirror current and snapshot emissions
+	// are patches instead of full rebuilds — bit-identical by the graph
+	// package's fuzz contract.
+	if !cfg.CSRRebuild {
+		p.tkg.G.EnableCSRPatch(true)
+	}
+
 	// One full label-propagation convergence over the recovered state;
 	// every later event re-converges incrementally. Incremental and full
 	// runs are bit-identical (labelprop equivalence tests), so a restart
 	// never perturbs answers.
 	p.tkg.G.TrackDirty(true)
-	p.tkg.G.TakeDirty() // load + replay dirt is covered by the full pass
+	p.tkg.G.DrainDirty() // load + replay dirt is covered by the full pass
 	p.seeds = p.tkg.EventSeeds()
 	if cfg.Classes > 0 && cfg.Layers > 0 && p.tkg.G.NumNodes() > 0 {
-		p.lp = labelprop.PropagateFull(p.tkg.G.CSR(), p.seeds, cfg.Classes, cfg.Layers)
+		p.lp = labelprop.PropagateFull(p.tkg.G.LiveCSR(), p.seeds, cfg.Classes, cfg.Layers)
 		p.met.dirtyFrontier.Set(float64(p.lp.LastFrontier))
 	}
+	p.syncPatchMetrics()
 	return nil
+}
+
+// syncPatchMetrics folds the graph's CSR emission counters into the
+// registry as deltas. Called from the apply goroutine only.
+func (p *Pipeline) syncPatchMetrics() {
+	st := p.tkg.G.CSRPatchStats()
+	if d := st.Applied - p.lastPatch.Applied; d > 0 {
+		p.met.patchApplied.Add(d)
+	}
+	if d := st.Fallback - p.lastPatch.Fallback; d > 0 {
+		p.met.patchFallback.Add(d)
+	}
+	p.lastPatch = st
 }
 
 // countApply buckets an ApplyPulse outcome into the stage counters and
@@ -554,24 +593,33 @@ type Stats struct {
 	Replayed, Checkpoints, Publishes                     uint64
 	DurableSeq, Watermark                                uint64
 	WALBytes                                             int64
+	// CSRPatchApplied / CSRPatchFallback count CSR snapshot emissions by
+	// kind (incremental patch vs. from-scratch rebuild).
+	CSRPatchApplied, CSRPatchFallback uint64
+	// LastCutSeconds is the wall time of the most recent cut (0 until the
+	// first).
+	LastCutSeconds float64
 }
 
 // Stats samples the pipeline counters (also exported on /metrics as the
-// trail_ingest_* family).
+// trail_ingest_* and trail_csr_patch_* families).
 func (p *Pipeline) Stats() Stats {
 	return Stats{
-		Accepted:    p.met.accepted.Value(),
-		Shed:        p.met.shed.Value(),
-		Applied:     p.met.applied.Value(),
-		Skipped:     p.met.skipped.Value(),
-		Duplicates:  p.met.duplicates.Value(),
-		Failed:      p.met.failed.Value(),
-		Replayed:    p.met.replayed.Value(),
-		Checkpoints: p.met.checkpoints.Value(),
-		Publishes:   p.met.publishes.Value(),
-		DurableSeq:  p.durable.Load(),
-		Watermark:   p.watermark.Load(),
-		WALBytes:    p.jrn.Size(),
+		Accepted:         p.met.accepted.Value(),
+		Shed:             p.met.shed.Value(),
+		Applied:          p.met.applied.Value(),
+		Skipped:          p.met.skipped.Value(),
+		Duplicates:       p.met.duplicates.Value(),
+		Failed:           p.met.failed.Value(),
+		Replayed:         p.met.replayed.Value(),
+		Checkpoints:      p.met.checkpoints.Value(),
+		Publishes:        p.met.publishes.Value(),
+		DurableSeq:       p.durable.Load(),
+		Watermark:        p.watermark.Load(),
+		WALBytes:         p.jrn.Size(),
+		CSRPatchApplied:  p.met.patchApplied.Value(),
+		CSRPatchFallback: p.met.patchFallback.Value(),
+		LastCutSeconds:   math.Float64frombits(p.lastCut.Load()),
 	}
 }
 
@@ -663,16 +711,20 @@ func (p *Pipeline) handle(it item) {
 
 // propagate re-converges label propagation over the rows the last apply
 // dirtied. Bit-identical to a from-scratch run (labelprop equivalence
-// tests), at dirty-frontier cost instead of whole-graph cost.
+// tests), at dirty-frontier cost instead of whole-graph cost. The
+// operator is the graph's live slacked view: with patching on, no CSR is
+// packed and no normalisation recomputed per event — the builder repairs
+// only the delta's one-hop neighbourhood. DrainDirty recycles one buffer
+// across events, so the per-event overhead allocates almost nothing.
 func (p *Pipeline) propagate() {
 	if p.cfg.Classes <= 0 || p.cfg.Layers <= 0 {
 		return
 	}
-	dirty := p.tkg.G.TakeDirty()
+	dirty := p.tkg.G.DrainDirty()
 	if len(dirty) == 0 && p.lp != nil {
 		return
 	}
-	p.lp = labelprop.PropagateDirty(p.tkg.G.CSR(), p.seeds, p.cfg.Classes, p.cfg.Layers, p.lp, dirty)
+	p.lp = labelprop.PropagateDirty(p.tkg.G.LiveCSR(), p.seeds, p.cfg.Classes, p.cfg.Layers, p.lp, dirty)
 	p.met.dirtyFrontier.Set(float64(p.lp.LastFrontier))
 }
 
@@ -694,6 +746,13 @@ func (p *Pipeline) cut() {
 	if p.sinceCut == 0 && p.watermark.Load() == wm {
 		return // nothing new since the last cut (repair passes bump sinceCut)
 	}
+	start := time.Now()
+	defer func() {
+		d := time.Since(start).Seconds()
+		p.met.cutSeconds.Observe(d)
+		p.lastCut.Store(math.Float64bits(d))
+		p.syncPatchMetrics()
+	}()
 	if err := p.jrn.Sync(); err != nil {
 		p.met.walErrors.Inc()
 		p.cfg.Logf("ingest: WAL sync: %v", err)
@@ -724,10 +783,24 @@ func (p *Pipeline) cut() {
 	if p.cfg.Publish == nil {
 		return
 	}
+	// The graph snapshot format is order-faithful (edges serialise and
+	// replay in insertion order), so the clone's adjacency is bit-for-bit
+	// the live graph's — and insertion order itself is crash-schedule
+	// independent, because recovery replays the WAL in sequence order over
+	// a checkpoint that preserved it. That makes the live graph's patched
+	// CSR emission directly adoptable: the published snapshot chain starts
+	// from the spliced matrix instead of re-packing the whole graph. In
+	// -csr-rebuild mode the clone keeps the legacy behaviour and builds
+	// its CSR from scratch on first use (the A/B lever).
 	clone, err := core.ReadTKGFallible(bytes.NewReader(tkgBuf.Bytes()), p.cfg.Services, p.cfg.Resolver)
 	if err != nil {
 		p.cfg.Logf("ingest: snapshot clone: %v", err)
 		return
+	}
+	if !p.cfg.CSRRebuild {
+		if err := clone.G.AdoptCSR(p.tkg.G.CSR()); err != nil {
+			p.cfg.Logf("ingest: adopt CSR: %v", err)
+		}
 	}
 	pb := published{tkg: clone, watermark: wm}
 	for {

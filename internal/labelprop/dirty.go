@@ -143,7 +143,7 @@ func PropagateDirty(a *sparse.Matrix, seeds map[graph.NodeID]int, classes, layer
 	for l := 0; l < layers; l++ {
 		// Expand one hop, then recompute F_l over the whole frontier.
 		for _, v := range frontier {
-			for k := a.RowPtr[v]; k < a.RowPtr[v+1]; k++ {
+			for k, e := a.RowPtr[v], a.End(v); k < e; k++ {
 				changed[a.ColIdx[k]] = struct{}{}
 			}
 		}
@@ -158,14 +158,14 @@ func PropagateDirty(a *sparse.Matrix, seeds map[graph.NodeID]int, classes, layer
 				// one-hot row touches exactly the seed column, and adding
 				// val*0 elsewhere is exact (all mass is non-negative), so
 				// skipping the zero columns is bitwise-neutral.
-				for k := s.RowPtr[v]; k < s.RowPtr[v+1]; k++ {
+				for k, e := s.RowPtr[v], s.End(v); k < e; k++ {
 					if c, ok := st.seeds[graph.NodeID(s.ColIdx[k])]; ok {
 						row[c] += s.Val[k]
 					}
 				}
 			} else {
 				x := st.F[l-1]
-				for k := s.RowPtr[v]; k < s.RowPtr[v+1]; k++ {
+				for k, e := s.RowPtr[v], s.End(v); k < e; k++ {
 					mat.Axpy(s.Val[k], x.Row(int(s.ColIdx[k])), row)
 				}
 			}

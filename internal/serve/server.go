@@ -53,6 +53,11 @@ type Config struct {
 	// silently stalled while request serving still works. 0 disables the
 	// check (always 200 while a snapshot is loaded).
 	StaleAfter time.Duration
+	// ExtraStats, when set, is sampled per /v1/stats request and merged
+	// into the response under "extra" — the hook embedders (the streaming
+	// ingest daemon) use to surface pipeline counters such as cut latency
+	// and CSR patch/fallback totals next to the serving stats.
+	ExtraStats func() map[string]any
 }
 
 func (c *Config) fill() {
@@ -499,6 +504,7 @@ type statsResponse struct {
 	Requests      uint64    `json:"requests_total"`
 	Batches       uint64    `json:"batches_total"`
 	Reloads       uint64    `json:"reloads_total"`
+	Extra         map[string]any `json:"extra,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -507,6 +513,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.Snapshot()
+	var extra map[string]any
+	if s.cfg.ExtraStats != nil {
+		extra = s.cfg.ExtraStats()
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Epoch:          snap.Epoch,
 		Precision:      snap.Precision,
@@ -521,6 +531,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests:      s.met.attrRequests.Value(),
 		Batches:       s.met.batches.Value(),
 		Reloads:       s.met.reloads.Value(),
+		Extra:         extra,
 	})
 }
 

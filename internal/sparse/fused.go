@@ -62,7 +62,7 @@ func (s *CSR[T]) SAGELayerInto(dst, x, wMean, wSelf *mat.Dense[T], bias []T) {
 		for i := lo; i < hi; i++ {
 			// Normalise + aggregate (the SpMMInto row body).
 			clear(meanrow)
-			for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			for k, e := s.RowPtr[i], s.End(i); k < e; k++ {
 				mat.Axpy(s.Val[k], x.Row(int(s.ColIdx[k])), meanrow)
 			}
 			if s.RowScale != nil {

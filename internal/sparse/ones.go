@@ -1,0 +1,61 @@
+package sparse
+
+import "sync"
+
+// Unweighted adjacency matrices dominate this package's traffic — the
+// graph engine emits one per ingest cut — and their value arrays are,
+// by construction, all ones. Materialising a fresh nnz-sized array of
+// 1s per snapshot (and again per element-type cast and per permuted
+// view) is pure allocator and memset load, so all-ones value arrays are
+// instead served from a grow-only shared pool, one backing array per
+// element type. Pool slices are immutable by contract: every CSR is
+// immutable after construction, so sharing is invisible to callers.
+//
+// Constructors record all-ones provenance in CSR.valOnes (set only when
+// the values are all ones BY CONSTRUCTION, i.e. a nil val argument —
+// never by scanning), and Cast/Permute consult it to skip the
+// element-wise copy: converting or gathering a vector of 1s yields a
+// vector of 1s at any element type, bit-for-bit.
+var (
+	onesMu sync.Mutex
+	ones64 []float64
+	ones32 []float32
+)
+
+// onesSlice returns a shared, immutable, length-n all-ones slice. For
+// exotic Float instantiations (defined types) it falls back to a fresh
+// allocation.
+func onesSlice[T interface{ ~float32 | ~float64 }](n int) []T {
+	onesMu.Lock()
+	defer onesMu.Unlock()
+	switch any(T(1)).(type) {
+	case float64:
+		if len(ones64) < n {
+			ones64 = freshOnes[float64](roundPow2(n))
+		}
+		return any(ones64[:n:n]).([]T)
+	case float32:
+		if len(ones32) < n {
+			ones32 = freshOnes[float32](roundPow2(n))
+		}
+		return any(ones32[:n:n]).([]T)
+	default:
+		return freshOnes[T](n)
+	}
+}
+
+func freshOnes[T interface{ ~float32 | ~float64 }](n int) []T {
+	v := make([]T, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func roundPow2(n int) int {
+	p := 1024
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -123,7 +123,7 @@ func (s *CSR[T]) DegreePermutation() *Permutation {
 	for i := range perm {
 		perm[i] = int32(i)
 	}
-	deg := func(i int32) int { return s.RowPtr[i+1] - s.RowPtr[i] }
+	deg := func(i int32) int { return s.End(int(i)) - s.RowPtr[i] }
 	sort.SliceStable(perm, func(a, b int) bool { return deg(perm[a]) > deg(perm[b]) })
 	return NewPermutation(perm)
 }
@@ -143,7 +143,10 @@ func (s *CSR[T]) Permute(p *Permutation) *CSR[T] {
 	n := s.Rows
 	rowPtr := make([]int, n+1)
 	colIdx := make([]int32, s.NNZ())
-	val := make([]T, s.NNZ())
+	var val []T
+	if !s.valOnes {
+		val = make([]T, s.NNZ())
+	}
 	var rowScale []T
 	if s.RowScale != nil {
 		rowScale = make([]T, n)
@@ -151,9 +154,11 @@ func (s *CSR[T]) Permute(p *Permutation) *CSR[T] {
 	k := 0
 	for r := 0; r < n; r++ {
 		src := int(p.Perm[r])
-		for q := s.RowPtr[src]; q < s.RowPtr[src+1]; q++ {
+		for q, e := s.RowPtr[src], s.End(src); q < e; q++ {
 			colIdx[k] = p.Inv[s.ColIdx[q]]
-			val[k] = s.Val[q]
+			if val != nil {
+				val[k] = s.Val[q]
+			}
 			k++
 		}
 		rowPtr[r+1] = k
@@ -161,7 +166,11 @@ func (s *CSR[T]) Permute(p *Permutation) *CSR[T] {
 			rowScale[r] = s.RowScale[src]
 		}
 	}
-	return &CSR[T]{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val, RowScale: rowScale}
+	if val == nil {
+		// Gathering a vector of 1s is a vector of 1s: share the pool.
+		val = onesSlice[T](k)
+	}
+	return &CSR[T]{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val, RowScale: rowScale, valOnes: s.valOnes}
 }
 
 // ReorderMinRows gates Reordered: below this many rows the permuted view
@@ -183,10 +192,11 @@ func (s *CSR[T]) Reordered() (*CSR[T], *Permutation) {
 		p := s.DegreePermutation()
 		if p.IsIdentity() {
 			s.reordM = s
-			return
+		} else {
+			s.reordM = s.Permute(p)
+			s.reordP = p
 		}
-		s.reordM = s.Permute(p)
-		s.reordP = p
+		s.reordReady.Store(true)
 	})
 	return s.reordM, s.reordP
 }

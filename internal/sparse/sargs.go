@@ -71,7 +71,7 @@ func (j *sargs[T]) spmm(lo, hi int) {
 		for c := range drow {
 			drow[c] = 0
 		}
-		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+		for k, e := s.RowPtr[i], s.End(i); k < e; k++ {
 			mat.Axpy(s.Val[k], x.Row(int(s.ColIdx[k])), drow)
 		}
 		if s.RowScale != nil {

@@ -43,23 +43,46 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"trail/internal/mat"
 	"trail/internal/par"
 )
 
 // CSR is a sparse matrix in compressed sparse row form. Row i's entries
-// are ColIdx[RowPtr[i]:RowPtr[i+1]] with values Val[RowPtr[i]:RowPtr[i+1]].
+// are ColIdx[RowPtr[i]:End(i)] with values Val[RowPtr[i]:End(i)].
 // If RowScale is non-nil, the logical entry value is Val[k]*RowScale[i]:
 // kernels accumulate the raw Val products first and multiply the
 // finished row by RowScale[i], which is exactly the sum-then-scale
 // arithmetic of a mean aggregator (and bit-identical to it).
+//
+// A packed matrix (RowEnd == nil) stores rows contiguously:
+// End(i) == RowPtr[i+1]. A slack-slotted matrix (RowEnd != nil) leaves
+// unused capacity between End(i) and the next row's start so that an
+// incremental maintainer (graph's delta-append builder) can splice
+// entries in without re-packing; every row loop in this package walks
+// RowPtr[i]..End(i) and never reads the slack slots, so kernels are
+// bit-identical between a slacked view and its packed equivalent.
 type CSR[T mat.Float] struct {
 	Rows, Cols int
 	RowPtr     []int
 	ColIdx     []int32
 	Val        []T
 	RowScale   []T
+	// RowEnd, when non-nil, is the exclusive end offset of each row's
+	// live entries (slack-slotted storage, see type comment). Slacked
+	// matrices are transient views owned by their builder; everything
+	// this package constructs from one (normalised variants, transposes,
+	// permuted views) is packed.
+	RowEnd []int
+	// nnz caches the live entry count for slacked matrices, where
+	// RowPtr[Rows] covers the slots rather than the entries.
+	nnz int
+	// valOnes records that Val is all ones by construction (a nil val
+	// argument — an unweighted adjacency). Cast and Permute use it to
+	// serve the result's values from the shared ones pool instead of
+	// copying; see ones.go.
+	valOnes bool
 
 	tOnce sync.Once
 	t     *CSR[T] // cached transpose, built on first SpMMTrans/MulTrans
@@ -68,15 +91,22 @@ type CSR[T mat.Float] struct {
 	// the normalised variants are pure functions of the receiver, so the
 	// repeated-evaluation loops (label-propagation folds, per-epoch GNN
 	// operators) can share one result instead of re-deriving value
-	// arrays on every call.
+	// arrays on every call. Install* seeds a cache with a prebuilt,
+	// provably-identical result (the incremental CSR maintainer does
+	// this so snapshot publication skips the re-derivation entirely).
 	symOnce, loopOnce, meanOnce sync.Once
 	symN, loopN, meanN          *CSR[T]
+	// meanReady lets Cast carry the mean cache (all-ones float64
+	// receivers only — see Cast) without firing the Once.
+	meanReady atomic.Bool
 
 	// Reordering cache: the degree-descending permuted view and its
-	// permutation, built on first Reordered call.
-	reordOnce sync.Once
-	reordM    *CSR[T]
-	reordP    *Permutation
+	// permutation, built on first Reordered call (or installed).
+	// reordReady lets Cast carry the cache without firing the Once.
+	reordOnce  sync.Once
+	reordReady atomic.Bool
+	reordM     *CSR[T]
+	reordP     *Permutation
 }
 
 // Matrix is the float64 reference instantiation of CSR.
@@ -98,15 +128,13 @@ func NewOf[T mat.Float](rows, cols int, rowPtr []int, colIdx []int32, val []T) *
 	if len(colIdx) != nnz {
 		panic(fmt.Sprintf("sparse: ColIdx length %d != nnz %d", len(colIdx), nnz))
 	}
-	if val == nil {
-		val = make([]T, nnz)
-		for i := range val {
-			val[i] = 1
-		}
+	ones := val == nil
+	if ones {
+		val = onesSlice[T](nnz)
 	} else if len(val) != nnz {
 		panic(fmt.Sprintf("sparse: Val length %d != nnz %d", len(val), nnz))
 	}
-	return &CSR[T]{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	return &CSR[T]{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val, valOnes: ones}
 }
 
 // FromAdj builds an unweighted square CSR from adjacency lists, one row
@@ -129,18 +157,102 @@ func FromAdj[T ~int32](adj [][]T) *Matrix {
 	return New(n, n, rowPtr, colIdx, nil)
 }
 
+// NewSlackedOf wraps slack-slotted CSR arrays without copying: row i's
+// live entries are colIdx[rowPtr[i]:rowEnd[i]], the slots beyond rowEnd[i]
+// are uninitialised slack, and nnz is the total live entry count. The
+// view shares its arrays with the caller (typically an incremental
+// builder) and is only valid until the builder's next mutation; every
+// kernel and constructor in this package walks live entries only, so
+// results are bit-identical to the packed equivalent.
+func NewSlackedOf[T mat.Float](rows, cols int, rowPtr, rowEnd []int, colIdx []int32, val []T, nnz int) *CSR[T] {
+	if len(rowPtr) != rows+1 {
+		panic(fmt.Sprintf("sparse: RowPtr length %d != rows+1 (%d)", len(rowPtr), rows+1))
+	}
+	if len(rowEnd) != rows {
+		panic(fmt.Sprintf("sparse: RowEnd length %d != rows (%d)", len(rowEnd), rows))
+	}
+	if len(val) != len(colIdx) {
+		panic(fmt.Sprintf("sparse: Val length %d != ColIdx length %d", len(val), len(colIdx)))
+	}
+	return &CSR[T]{Rows: rows, Cols: cols, RowPtr: rowPtr, RowEnd: rowEnd, ColIdx: colIdx, Val: val, nnz: nnz}
+}
+
+// End returns the exclusive end offset of row i's live entries:
+// RowPtr[i+1] for packed matrices, RowEnd[i] for slack-slotted ones.
+// Row loops pair it with RowPtr[i].
+func (s *CSR[T]) End(i int) int {
+	if s.RowEnd != nil {
+		return s.RowEnd[i]
+	}
+	return s.RowPtr[i+1]
+}
+
+// Slacked reports whether the matrix uses slack-slotted row storage
+// (a transient builder view) rather than packed contiguous rows.
+func (s *CSR[T]) Slacked() bool { return s.RowEnd != nil }
+
+// InstallSymNormalized seeds the SymNormalized cache with a prebuilt
+// result. The caller guarantees m is bit-identical to what a lazy
+// SymNormalized call would construct (the incremental CSR builder's
+// contract, pinned by graph's patch fuzz harness). It panics if the
+// cache was already populated — install immediately after construction.
+func (s *CSR[T]) InstallSymNormalized(m *CSR[T]) {
+	installed := false
+	s.symOnce.Do(func() { s.symN = m; installed = true })
+	if !installed {
+		panic("sparse: InstallSymNormalized after the cache was built")
+	}
+}
+
+// InstallMeanNormalized seeds the MeanNormalized cache; same contract as
+// InstallSymNormalized.
+func (s *CSR[T]) InstallMeanNormalized(m *CSR[T]) {
+	installed := false
+	s.meanOnce.Do(func() { s.meanN = m; s.meanReady.Store(true); installed = true })
+	if !installed {
+		panic("sparse: InstallMeanNormalized after the cache was built")
+	}
+}
+
+// InstallReordered seeds the Reordered cache with a prebuilt permuted
+// view and its permutation (p == nil with m == s means "already
+// degree-sorted, run unpermuted" — the same encoding the lazy path
+// caches). Same contract as InstallSymNormalized.
+func (s *CSR[T]) InstallReordered(m *CSR[T], p *Permutation) {
+	installed := false
+	s.reordOnce.Do(func() {
+		s.reordM, s.reordP = m, p
+		s.reordReady.Store(true)
+		installed = true
+	})
+	if !installed {
+		panic("sparse: InstallReordered after the cache was built")
+	}
+}
+
 // Cast returns s converted to element type T. When s is already a
 // *CSR[T] it is returned unchanged; otherwise the structure arrays
-// (RowPtr, ColIdx) are shared and fresh value arrays are rounded
-// element-wise. Normalisation caches are not carried over — convert
-// before normalising, or re-normalise after.
+// (RowPtr, RowEnd, ColIdx) are shared and fresh value arrays are rounded
+// element-wise. The reordering cache, when built, is carried over (the
+// permutation is structure-only, and Cast and Permute commute
+// element-wise, so the carried view is bit-identical to re-deriving it);
+// the normalisation caches are not — their values do not commute with
+// rounding in general — so convert before normalising, or re-normalise
+// after.
 func Cast[T, U mat.Float](s *CSR[U]) *CSR[T] {
 	if m, ok := any(s).(*CSR[T]); ok {
 		return m
 	}
-	val := make([]T, len(s.Val))
-	for i, v := range s.Val {
-		val[i] = T(v)
+	var val []T
+	if s.valOnes {
+		// Converting a vector of 1s is a vector of 1s at any element
+		// type — serve it from the shared pool instead of copying.
+		val = onesSlice[T](len(s.Val))
+	} else {
+		val = make([]T, len(s.Val))
+		for i, v := range s.Val {
+			val[i] = T(v)
+		}
 	}
 	var scale []T
 	if s.RowScale != nil {
@@ -149,18 +261,45 @@ func Cast[T, U mat.Float](s *CSR[U]) *CSR[T] {
 			scale[i] = T(v)
 		}
 	}
-	return &CSR[T]{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: val, RowScale: scale}
+	out := &CSR[T]{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, RowEnd: s.RowEnd, ColIdx: s.ColIdx, Val: val, RowScale: scale, nnz: s.nnz, valOnes: s.valOnes}
+	if s.reordReady.Load() && out.Rows == out.Cols && out.Rows >= ReorderMinRows {
+		if s.reordM == s {
+			// Already degree-sorted: the cached encoding is (self, nil).
+			out.InstallReordered(out, nil)
+		} else {
+			out.InstallReordered(Cast[T](s.reordM), s.reordP)
+		}
+	}
+	if _, src64 := any(U(0)).(float64); src64 && s.valOnes && s.meanReady.Load() {
+		// Mean carry, narrowing from float64 only: an all-ones row sums
+		// to the exact integer d in both precisions, the float64 scale is
+		// 1/float64(d), and the lazy T kernel computes T(1/sum) with a
+		// float64 sum — i.e. T(1/float64(d)), exactly the converted
+		// float64 scale. Widening would double-round (T(1/float64(d))
+		// re-divided at higher precision differs), so it stays lazy.
+		ms := make([]T, len(s.meanN.RowScale))
+		for i, v := range s.meanN.RowScale {
+			ms[i] = T(v)
+		}
+		out.InstallMeanNormalized(out.WithValues(nil, ms))
+	}
+	return out
 }
 
-// NNZ returns the number of stored entries.
-func (s *CSR[T]) NNZ() int { return s.RowPtr[s.Rows] }
+// NNZ returns the number of live entries.
+func (s *CSR[T]) NNZ() int {
+	if s.RowEnd != nil {
+		return s.nnz
+	}
+	return s.RowPtr[s.Rows]
+}
 
 // Degrees returns the number of stored entries per row (the node degree
 // for an adjacency CSR).
 func (s *CSR[T]) Degrees() []int {
 	out := make([]int, s.Rows)
 	for i := range out {
-		out[i] = s.RowPtr[i+1] - s.RowPtr[i]
+		out[i] = s.End(i) - s.RowPtr[i]
 	}
 	return out
 }
@@ -172,7 +311,7 @@ func (s *CSR[T]) RowSums() []float64 {
 	out := make([]float64, s.Rows)
 	for i := 0; i < s.Rows; i++ {
 		sum := 0.0
-		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+		for k, e := s.RowPtr[i], s.End(i); k < e; k++ {
 			sum += float64(s.Val[k])
 		}
 		if s.RowScale != nil {
@@ -188,15 +327,19 @@ func (s *CSR[T]) RowSums() []float64 {
 // s's values, nil rowScale means none). Used by callers that re-weight a
 // fixed edge structure — e.g. the GNN explainer's learned edge mask.
 func (s *CSR[T]) WithValues(val, rowScale []T) *CSR[T] {
+	ones := false
 	if val == nil {
 		val = s.Val
+		ones = s.valOnes
+	} else if s.RowEnd != nil {
+		panic("sparse: WithValues with fresh values on a slack-slotted matrix")
 	} else if len(val) != s.NNZ() {
 		panic(fmt.Sprintf("sparse: WithValues length %d != nnz %d", len(val), s.NNZ()))
 	}
 	if rowScale != nil && len(rowScale) != s.Rows {
 		panic(fmt.Sprintf("sparse: WithValues rowScale length %d != rows %d", len(rowScale), s.Rows))
 	}
-	return &CSR[T]{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: val, RowScale: rowScale}
+	return &CSR[T]{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, RowEnd: s.RowEnd, ColIdx: s.ColIdx, Val: val, RowScale: rowScale, nnz: s.nnz, valOnes: ones}
 }
 
 // SymNormalized returns D^{-1/2} S D^{-1/2}: entry (i,j) becomes
@@ -209,13 +352,17 @@ func (s *CSR[T]) SymNormalized() *CSR[T] {
 	s.mustSquarePlain("SymNormalized")
 	s.symOnce.Do(func() {
 		invSqrt := s.invSqrtRowSums(0)
-		val := make([]T, s.NNZ())
+		// Slacked receivers share the slotted buffer shape so the result
+		// stays a zero-copy view over the same structure (slack slots stay
+		// zero and are never read); packed receivers get the packed array
+		// this always built.
+		val := make([]T, len(s.ColIdx))
 		for i := 0; i < s.Rows; i++ {
-			for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			for k, e := s.RowPtr[i], s.End(i); k < e; k++ {
 				val[k] = T(float64(s.Val[k]) * (invSqrt[i] * invSqrt[int(s.ColIdx[k])]))
 			}
 		}
-		s.symN = &CSR[T]{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: val}
+		s.symN = &CSR[T]{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, RowEnd: s.RowEnd, ColIdx: s.ColIdx, Val: val, nnz: s.nnz}
 	})
 	return s.symN
 }
@@ -241,7 +388,7 @@ func (s *CSR[T]) SymNormalizedWithSelfLoops() *CSR[T] {
 			colIdx[k] = int32(i)
 			val[k] = T(invSqrt[i] * invSqrt[i])
 			k++
-			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			for p, e := s.RowPtr[i], s.End(i); p < e; p++ {
 				j := s.ColIdx[p]
 				if int(j) == i {
 					panic("sparse: SymNormalizedWithSelfLoops on matrix with existing diagonal entries")
@@ -273,14 +420,15 @@ func (s *CSR[T]) MeanNormalized() *CSR[T] {
 		scale := make([]T, s.Rows)
 		for i := 0; i < s.Rows; i++ {
 			sum := 0.0
-			for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+			for k, e := s.RowPtr[i], s.End(i); k < e; k++ {
 				sum += float64(s.Val[k])
 			}
 			if sum > 0 {
 				scale[i] = T(1 / sum)
 			}
 		}
-		s.meanN = &CSR[T]{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, ColIdx: s.ColIdx, Val: s.Val, RowScale: scale}
+		s.meanN = &CSR[T]{Rows: s.Rows, Cols: s.Cols, RowPtr: s.RowPtr, RowEnd: s.RowEnd, ColIdx: s.ColIdx, Val: s.Val, RowScale: scale, nnz: s.nnz}
+		s.meanReady.Store(true)
 	})
 	return s.meanN
 }
@@ -291,7 +439,7 @@ func (s *CSR[T]) invSqrtRowSums(shift float64) []float64 {
 	out := make([]float64, s.Rows)
 	for i := 0; i < s.Rows; i++ {
 		sum := shift
-		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+		for k, e := s.RowPtr[i], s.End(i); k < e; k++ {
 			sum += float64(s.Val[k])
 		}
 		if sum > 0 {
@@ -319,8 +467,10 @@ func (s *CSR[T]) mustSquarePlain(op string) {
 func (s *CSR[T]) Transpose() *CSR[T] {
 	nnz := s.NNZ()
 	rowPtr := make([]int, s.Cols+1)
-	for _, j := range s.ColIdx {
-		rowPtr[j+1]++
+	for i := 0; i < s.Rows; i++ {
+		for k, e := s.RowPtr[i], s.End(i); k < e; k++ {
+			rowPtr[s.ColIdx[k]+1]++
+		}
 	}
 	for i := 0; i < s.Cols; i++ {
 		rowPtr[i+1] += rowPtr[i]
@@ -334,7 +484,7 @@ func (s *CSR[T]) Transpose() *CSR[T] {
 		if s.RowScale != nil {
 			scale = s.RowScale[i]
 		}
-		for k := s.RowPtr[i]; k < s.RowPtr[i+1]; k++ {
+		for k, e := s.RowPtr[i], s.End(i); k < e; k++ {
 			j := s.ColIdx[k]
 			c := cursor[j]
 			colIdx[c] = int32(i)

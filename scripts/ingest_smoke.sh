@@ -98,9 +98,13 @@ answers "$WORK/answersA.txt"
 grep -q '"predictions"' "$WORK/answersA.txt" || fail "run A returned no predictions"
 curl -sf "$BASE/metrics" >"$WORK/metrics.txt"
 for m in trail_ingest_accepted_total trail_ingest_applied_total trail_ingest_wal_bytes \
-         trail_ingest_watermark_lag trail_ingest_snapshot_age_seconds trail_ingest_dirty_frontier; do
+         trail_ingest_watermark_lag trail_ingest_snapshot_age_seconds trail_ingest_dirty_frontier \
+         trail_ingest_cut_seconds trail_csr_patch_applied_total trail_csr_patch_fallback_total; do
   grep -q "^# TYPE $m" "$WORK/metrics.txt" || fail "/metrics missing $m"
 done
+PATCHED="$(metric trail_csr_patch_applied_total | cut -d. -f1)"
+[ "$PATCHED" -ge 1 ] || fail "incremental CSR patching never engaged (trail_csr_patch_applied_total=$PATCHED)"
+say "run A published $PATCHED patched CSR snapshots"
 stop_ingest "$WORK/runA.log"
 
 say "run B: kill -9 mid-stream"
@@ -128,4 +132,17 @@ cmp "$WORK/stA/ingest.ck" "$WORK/stB/ingest.ck" \
 diff -u "$WORK/answersA.txt" "$WORK/answersB.txt" >&2 \
   || fail "recovered attribution answers differ from the uninterrupted run"
 
-say "OK: kill -9 at event $DURABLE converged to bit-identical state and answers"
+say "run C: -csr-rebuild A/B (from-scratch CSR at every cut)"
+start_ingest "$WORK/stC" "$WORK/runC.log" -csr-rebuild
+wait_metric trail_ingest_watermark_seq "$N" 150
+sleep 1
+REBUILT="$(metric trail_csr_patch_applied_total | cut -d. -f1)"
+[ "$REBUILT" -eq 0 ] || fail "-csr-rebuild still patched $REBUILT snapshots"
+answers "$WORK/answersC.txt"
+stop_ingest "$WORK/runC.log"
+cmp "$WORK/stA/ingest.ck" "$WORK/stC/ingest.ck" \
+  || fail "rebuild-mode checkpoint differs from the patched run"
+diff -u "$WORK/answersA.txt" "$WORK/answersC.txt" >&2 \
+  || fail "rebuild-mode attribution answers differ from the patched run"
+
+say "OK: kill -9 at event $DURABLE converged to bit-identical state and answers; patched and rebuilt CSR agree byte-for-byte"
